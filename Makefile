@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet fmt fmt-check lint bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails (with the offending files listed) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: vet fmt-check
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# One iteration per benchmark: cheap CI smoke that the harness still runs.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

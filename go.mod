@@ -1,0 +1,3 @@
+module dsr
+
+go 1.22

@@ -1,1 +1,52 @@
+// Package core is the public façade over the DSR engine: build a graph
+// (or load one from an edge list), pick a partition count, and ask
+// set-reachability questions.
+//
+//	g := ...                       // *graph.Graph
+//	eng, err := core.New(g, 4)     // 4 partitions, hash-partitioned
+//	defer eng.Close()
+//	ok := eng.Query([]graph.VertexID{0, 1}, []graph.VertexID{9})
 package core
+
+import (
+	"dsr/internal/dsr"
+	"dsr/internal/graph"
+)
+
+// Engine answers set-reachability queries over a partitioned graph.
+type Engine struct {
+	inner *dsr.Engine
+}
+
+// New builds an engine over g split into k hash-partitioned parts and
+// starts its per-partition workers.
+func New(g *graph.Graph, k int) (*Engine, error) {
+	inner, err := dsr.New(g, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// NewWithPartitioning builds an engine over a caller-supplied
+// partitioning (e.g. graph.RangePartition output).
+func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error) {
+	inner, err := dsr.NewWithPartitioning(g, pt)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Query reports whether any source in S reaches any target in T. It
+// panics if the engine has been closed.
+func (e *Engine) Query(S, T []graph.VertexID) bool { return e.inner.Query(S, T) }
+
+// NumPartitions returns the partition count.
+func (e *Engine) NumPartitions() int { return e.inner.NumPartitions() }
+
+// NumBoundary returns the size of the compressed boundary graph.
+func (e *Engine) NumBoundary() int { return e.inner.NumBoundary() }
+
+// Close stops the engine's worker goroutines.
+func (e *Engine) Close() { e.inner.Close() }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsr/internal/graph"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := graph.LoadEdgeListFile(filepath.Join("..", "graph", "testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if got := e.NumPartitions(); got != 2 {
+		t.Fatalf("NumPartitions = %d, want 2", got)
+	}
+	// The bridge 3->4 is one-way: the first cycle reaches the second,
+	// never the reverse.
+	if !e.Query([]graph.VertexID{0}, []graph.VertexID{7}) {
+		t.Error("0 should reach 7 across the bridge")
+	}
+	if e.Query([]graph.VertexID{7}, []graph.VertexID{0}) {
+		t.Error("7 must not reach 0 against the bridge")
+	}
+}
+
+func TestFacadeWithRangePartitioning(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	g := b.Build()
+	pt, err := graph.RangePartition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewWithPartitioning(g, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if !e.Query([]graph.VertexID{0}, []graph.VertexID{5}) {
+		t.Error("chain head should reach tail across three partitions")
+	}
+	if e.NumBoundary() == 0 {
+		t.Error("chain across partitions must have boundary vertices")
+	}
+}
+
+func TestFacadeRejectsBadK(t *testing.T) {
+	g := graph.NewBuilder(2).Build()
+	if _, err := New(g, 0); err == nil {
+		t.Fatal("want error for k=0")
+	}
+}

@@ -1,0 +1,403 @@
+// Package dsr implements distributed set reachability: given a directed
+// graph partitioned into k parts, Query(S, T) answers whether any source
+// in S reaches any target in T. The engine follows the DSR decomposition
+// from Gurajada & Theobald (SIGMOD 2016):
+//
+//  1. at build time each partition is compressed into boundary-to-boundary
+//     summary edges, which are stitched with the raw cross-partition edges
+//     into a global boundary graph;
+//  2. at query time, per-partition workers run local searches (forward
+//     from S, backward from T) in parallel, and the coordinator finishes
+//     with a single search over the small boundary graph.
+//
+// Any s->t path decomposes as s ~> x0 -> e1 ~> x1 -> ... ek ~> t, where
+// each ~> stays inside one partition and each -> is a cross-partition
+// edge. The forward local search finds x0, summary edges cover every
+// ei ~> xi hop, cross edges cover xi -> e(i+1), and the backward local
+// search marks ek; so the boundary search is exact, not approximate.
+package dsr
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"dsr/internal/graph"
+	"dsr/internal/partition"
+)
+
+// boundaryGraph is the compressed global view: vertices are the boundary
+// vertices of the partitioned graph (dense-reindexed), edges are the
+// per-partition entry->exit summaries plus the raw cross-partition edges.
+type boundaryGraph struct {
+	dense []int32 // global vertex -> dense boundary id, -1 for non-boundary
+	adj   [][]int32
+}
+
+func buildBoundaryGraph(g *graph.Graph, pt *graph.Partitioning, subs []*partition.Subgraph) *boundaryGraph {
+	bg := &boundaryGraph{dense: make([]int32, g.NumVertices())}
+	for v := 0; v < g.NumVertices(); v++ {
+		if pt.IsBoundary(graph.VertexID(v)) {
+			bg.dense[v] = int32(len(bg.adj))
+			bg.adj = append(bg.adj, nil)
+		} else {
+			bg.dense[v] = -1
+		}
+	}
+	add := func(u, v graph.VertexID) {
+		du := bg.dense[u]
+		bg.adj[du] = append(bg.adj[du], bg.dense[v])
+	}
+	// Each partition's summary is independent: compress them in parallel,
+	// then stitch single-threaded.
+	summaries := make([][][2]graph.VertexID, len(subs))
+	var wg sync.WaitGroup
+	for i, s := range subs {
+		wg.Add(1)
+		go func(i int, s *partition.Subgraph) {
+			defer wg.Done()
+			summaries[i] = s.Summary()
+		}(i, s)
+	}
+	wg.Wait()
+	for _, pairs := range summaries {
+		for _, pair := range pairs {
+			add(pair[0], pair[1])
+		}
+	}
+	g.Edges(func(u, v graph.VertexID) {
+		if pt.Part[u] != pt.Part[v] {
+			add(u, v)
+		}
+	})
+	// Dedupe adjacency (multi-edges and entry==exit self-pairs add noise).
+	for i, nbrs := range bg.adj {
+		slices.Sort(nbrs)
+		bg.adj[i] = slices.Compact(nbrs)
+	}
+	return bg
+}
+
+// taskKind selects the local search a worker runs.
+type taskKind uint8
+
+const (
+	taskForward  taskKind = iota // BFS from S∩p; report local hits and reached exits
+	taskBackward                 // reverse BFS from T∩p; report entries that reach T
+)
+
+type task struct {
+	kind    taskKind
+	seeds   []int32 // local IDs
+	targets []int32 // local IDs of T∩p, only for taskForward
+	reply   chan<- result
+}
+
+type result struct {
+	kind     taskKind
+	hit      bool             // a target was reached without leaving the partition
+	boundary []graph.VertexID // reached exits (forward) or reaching entries (backward)
+}
+
+// worker owns one partition's subgraph and scratch space, and serves
+// local-search tasks from its channel. This is the seam a later PR turns
+// into an RPC shard: the coordinator only ever exchanges seed sets and
+// boundary-vertex sets with it.
+//
+// All scratch (BFS marks, target marks, result buffers) is owned by the
+// worker and reused across tasks with the epoch trick, so steady-state
+// queries allocate nothing here. Reuse is safe because the coordinator
+// fully drains every query's replies before the next query can send.
+type worker struct {
+	sub     *partition.Subgraph
+	sc      *partition.Scratch
+	isEntry []bool
+	isExit  []bool
+	tmark   *partition.Marks // target-membership marks for forward tasks
+	fbuf    []graph.VertexID // result buffer for forward tasks
+	bbuf    []graph.VertexID // result buffer for backward tasks
+	tasks   chan task
+}
+
+func newWorker(sub *partition.Subgraph) *worker {
+	w := &worker{
+		sub:     sub,
+		sc:      partition.NewScratch(sub.NumVertices()),
+		isEntry: make([]bool, sub.NumVertices()),
+		isExit:  make([]bool, sub.NumVertices()),
+		tmark:   partition.NewMarks(sub.NumVertices()),
+		tasks:   make(chan task, 2), // at most one forward + one backward per query
+	}
+	for _, e := range sub.Entries {
+		w.isEntry[e] = true
+	}
+	for _, x := range sub.Exits {
+		w.isExit[x] = true
+	}
+	return w
+}
+
+func (w *worker) run() {
+	for t := range w.tasks {
+		res := result{kind: t.kind}
+		switch t.kind {
+		case taskForward:
+			w.tmark.Reset()
+			for _, v := range t.targets {
+				w.tmark.Mark(v)
+			}
+			buf := w.fbuf[:0]
+			for _, v := range w.sub.ReachForward(t.seeds, w.sc) {
+				if w.tmark.Seen(v) {
+					res.hit = true
+				}
+				if w.isExit[v] {
+					buf = append(buf, w.sub.GlobalID(v))
+				}
+			}
+			w.fbuf, res.boundary = buf, buf
+		case taskBackward:
+			buf := w.bbuf[:0]
+			for _, v := range w.sub.ReachBackward(t.seeds, w.sc) {
+				if w.isEntry[v] {
+					buf = append(buf, w.sub.GlobalID(v))
+				}
+			}
+			w.bbuf, res.boundary = buf, buf
+		}
+		t.reply <- res
+	}
+}
+
+// Engine answers set-reachability queries over a partitioned graph. It
+// does not retain the input *graph.Graph: after construction every edge
+// lives in the per-partition subgraphs and the boundary graph, so the
+// original CSR can be garbage-collected.
+type Engine struct {
+	n       int // vertex count of the source graph
+	pt      *graph.Partitioning
+	local   []int32
+	bg      *boundaryGraph
+	workers []*worker
+
+	mu     sync.Mutex // serializes queries: workers hold per-partition scratch
+	closed bool
+
+	// Reusable per-query scratch, safe under mu. Epoch-marked arrays make
+	// reuse O(1): a vertex is marked iff its entry equals the current
+	// epoch. Queries fully drain the reply channel, so all of this —
+	// including the seed buffers workers read from — is quiescent between
+	// queries.
+	reply    chan result
+	tmark    *partition.Marks // global T-membership marks
+	fwdBuf   [][]int32        // per-partition S seeds (local IDs)
+	bwdBuf   [][]int32        // per-partition T seeds (local IDs)
+	fwdParts []int32          // partitions touched by S this query
+	bwdParts []int32          // partitions touched by T this query
+	sbuf     []int32          // boundary-BFS seed buffer
+	bvisit   *partition.Marks // boundary-BFS visited marks
+	bgoal    *partition.Marks // boundary-BFS goal marks
+	bqueue   []int32          // boundary-BFS queue
+}
+
+// New builds an engine over g split into k partitions with the default
+// deterministic hash partitioner.
+func New(g *graph.Graph, k int) (*Engine, error) {
+	pt, err := graph.HashPartition(g, k)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(g, pt), nil
+}
+
+// NewWithPartitioning builds an engine over a pre-partitioned graph.
+// Only pt.K and pt.Part are consulted; the Entry/Exit boundary marks are
+// recomputed from the edge set, so hand-rolled partitionings cannot
+// smuggle in marks that disagree with the graph.
+func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error) {
+	if len(pt.Part) != g.NumVertices() {
+		return nil, fmt.Errorf("dsr: partitioning covers %d vertices, graph has %d", len(pt.Part), g.NumVertices())
+	}
+	labels := pt.Part
+	pt, err := graph.PartitionWith(g, pt.K, func(v graph.VertexID, _, _ int) int32 { return labels[v] })
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(g, pt), nil
+}
+
+// newEngine trusts pt (labels in range, boundary marks consistent with
+// the edges): extracts per-partition subgraphs, compresses them into the
+// boundary graph, and starts one worker goroutine per partition.
+func newEngine(g *graph.Graph, pt *graph.Partitioning) *Engine {
+	subs, local := partition.Extract(g, pt)
+	e := &Engine{
+		n:      g.NumVertices(),
+		pt:     pt,
+		local:  local,
+		bg:     buildBoundaryGraph(g, pt, subs),
+		reply:  make(chan result, 2*pt.K),
+		tmark:  partition.NewMarks(g.NumVertices()),
+		fwdBuf: make([][]int32, pt.K),
+		bwdBuf: make([][]int32, pt.K),
+	}
+	e.bvisit = partition.NewMarks(len(e.bg.adj))
+	e.bgoal = partition.NewMarks(len(e.bg.adj))
+	for _, s := range subs {
+		w := newWorker(s)
+		e.workers = append(e.workers, w)
+		go w.run()
+	}
+	return e
+}
+
+// NumPartitions returns the partition count.
+func (e *Engine) NumPartitions() int { return e.pt.K }
+
+// NumBoundary returns the number of vertices in the boundary graph.
+func (e *Engine) NumBoundary() int { return len(e.bg.adj) }
+
+// Close shuts down the worker goroutines. The engine must not be queried
+// after Close.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, w := range e.workers {
+		close(w.tasks)
+	}
+}
+
+// resetSeedBufs truncates the per-partition seed buffers for the next
+// query. Only safe once no worker task can still be reading them.
+func (e *Engine) resetSeedBufs() {
+	for p := range e.fwdBuf {
+		e.fwdBuf[p] = e.fwdBuf[p][:0]
+		e.bwdBuf[p] = e.bwdBuf[p][:0]
+	}
+}
+
+// Query reports whether any source in S reaches any target in T
+// (reachability is reflexive: a vertex reaches itself). Vertices outside
+// the graph are ignored; an empty side yields false. Query panics if the
+// engine has been closed — a silent false would be indistinguishable
+// from a genuine negative answer.
+func (e *Engine) Query(S, T []graph.VertexID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		panic("dsr: Query called on closed Engine")
+	}
+	n := graph.VertexID(e.n)
+
+	// Fan the query out: group S and T by partition as local seed sets,
+	// using epoch marks for T membership and reused per-partition buffers
+	// instead of per-query maps.
+	e.tmark.Reset()
+	e.fwdParts = e.fwdParts[:0]
+	e.bwdParts = e.bwdParts[:0]
+	for _, t := range T {
+		if t >= n || !e.tmark.Mark(int32(t)) {
+			continue
+		}
+		p := e.pt.Part[t]
+		if len(e.bwdBuf[p]) == 0 {
+			e.bwdParts = append(e.bwdParts, p)
+		}
+		e.bwdBuf[p] = append(e.bwdBuf[p], e.local[t])
+	}
+	if len(e.bwdParts) == 0 {
+		e.resetSeedBufs()
+		return false
+	}
+	for _, s := range S {
+		if s >= n {
+			continue
+		}
+		if e.tmark.Seen(int32(s)) {
+			e.resetSeedBufs()
+			return true
+		}
+		p := e.pt.Part[s]
+		if len(e.fwdBuf[p]) == 0 {
+			e.fwdParts = append(e.fwdParts, p)
+		}
+		e.fwdBuf[p] = append(e.fwdBuf[p], e.local[s])
+	}
+	if len(e.fwdParts) == 0 {
+		e.resetSeedBufs()
+		return false
+	}
+
+	ntasks := len(e.fwdParts) + len(e.bwdParts)
+	for _, p := range e.fwdParts {
+		e.workers[p].tasks <- task{kind: taskForward, seeds: e.fwdBuf[p], targets: e.bwdBuf[p], reply: e.reply}
+	}
+	for _, p := range e.bwdParts {
+		e.workers[p].tasks <- task{kind: taskBackward, seeds: e.bwdBuf[p], reply: e.reply}
+	}
+
+	// Fan in: exits reached from S seed the boundary search; entries that
+	// locally reach T are its goals. A purely local hit skips the boundary
+	// phase, but the reply channel is still drained in full: the shared
+	// seed buffers and worker result buffers must be quiescent before the
+	// next query rewrites them.
+	e.bvisit.Reset()
+	e.bgoal.Reset()
+	seeds := e.sbuf[:0]
+	defer func() { e.sbuf = seeds }()
+	hit := false
+	ngoals := 0
+	for i := 0; i < ntasks; i++ {
+		res := <-e.reply
+		if res.hit {
+			hit = true
+		}
+		if hit {
+			continue // keep draining, skip the now-moot bookkeeping
+		}
+		for _, v := range res.boundary {
+			d := e.bg.dense[v]
+			if res.kind == taskForward {
+				seeds = append(seeds, d)
+			} else if e.bgoal.Mark(d) {
+				ngoals++
+			}
+		}
+	}
+	e.resetSeedBufs()
+	if hit {
+		return true
+	}
+	if len(seeds) == 0 || ngoals == 0 {
+		return false
+	}
+
+	// Final pass: BFS over the compressed boundary graph. The queue is
+	// saved back on every return path so its capacity survives early
+	// true-returns, not just exhausted searches.
+	queue := e.bqueue[:0]
+	defer func() { e.bqueue = queue }()
+	for _, v := range seeds {
+		if e.bgoal.Seen(v) {
+			return true
+		}
+		if e.bvisit.Mark(v) {
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		for _, w := range e.bg.adj[queue[head]] {
+			if e.bvisit.Mark(w) {
+				if e.bgoal.Seen(w) {
+					return true
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}

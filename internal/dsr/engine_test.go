@@ -1,0 +1,223 @@
+package dsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsr/internal/graph"
+)
+
+func build(n int, edges [][2]graph.VertexID) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func TestQueryHandBuilt(t *testing.T) {
+	// Two 4-cycles joined by bridge 3->4, range-partitioned in half.
+	g := build(8, [][2]graph.VertexID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 4},
+	})
+	pt, err := graph.RangePartition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewWithPartitioning(g, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	cases := []struct {
+		name string
+		S, T []graph.VertexID
+		want bool
+	}{
+		{"same vertex", []graph.VertexID{2}, []graph.VertexID{2}, true},
+		{"within partition", []graph.VertexID{0}, []graph.VertexID{3}, true},
+		{"across bridge", []graph.VertexID{0}, []graph.VertexID{6}, true},
+		{"against bridge", []graph.VertexID{5}, []graph.VertexID{0}, false},
+		{"set hit", []graph.VertexID{5, 1}, []graph.VertexID{7, 9}, true},
+		{"empty sources", nil, []graph.VertexID{1}, false},
+		{"empty targets", []graph.VertexID{1}, nil, false},
+		{"out of range ignored", []graph.VertexID{100}, []graph.VertexID{100}, false},
+	}
+	for _, c := range cases {
+		if got := e.Query(c.S, c.T); got != c.want {
+			t.Errorf("%s: Query(%v, %v) = %v, want %v", c.name, c.S, c.T, got, c.want)
+		}
+		if got := NaiveReach(g, c.S, c.T); got != c.want {
+			t.Errorf("%s: oracle disagrees with expectation: %v", c.name, got)
+		}
+	}
+}
+
+// randomGraph generates a graph with n vertices and ~n*deg random edges.
+func randomGraph(rng *rand.Rand, n int, deg float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	m := int(float64(n) * deg)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func randomSet(rng *rand.Rand, n, maxSize int) []graph.VertexID {
+	size := rng.Intn(maxSize + 1)
+	s := make([]graph.VertexID, 0, size)
+	for i := 0; i < size; i++ {
+		s = append(s, graph.VertexID(rng.Intn(n)))
+	}
+	return s
+}
+
+// TestQueryDifferential compares the partitioned engine against the
+// whole-graph BFS oracle on randomized graphs and query sets. Fixed seed
+// keeps failures reproducible.
+func TestQueryDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	const graphs = 120
+	queriesPer := 8
+	checked := 0
+	for gi := 0; gi < graphs; gi++ {
+		n := 1 + rng.Intn(60)
+		deg := []float64{0.5, 1, 2, 4}[rng.Intn(4)]
+		g := randomGraph(rng, n, deg)
+		k := 2 + rng.Intn(4) // always >= 2 partitions
+		var pt *graph.Partitioning
+		var err error
+		if rng.Intn(2) == 0 {
+			pt, err = graph.HashPartition(g, k)
+		} else {
+			pt, err = graph.RangePartition(g, k)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewWithPartitioning(g, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < queriesPer; qi++ {
+			S := randomSet(rng, n, 5)
+			T := randomSet(rng, n, 5)
+			got := e.Query(S, T)
+			want := NaiveReach(g, S, T)
+			if got != want {
+				t.Fatalf("graph %d (n=%d, k=%d), query %d: Query(%v, %v) = %v, oracle = %v",
+					gi, n, k, qi, S, T, got, want)
+			}
+			checked++
+		}
+		e.Close()
+	}
+	if checked < 100 {
+		t.Fatalf("only %d differential cases ran, want >= 100", checked)
+	}
+}
+
+// TestQuerySingleVertexGraphs covers the degenerate sizes where boundary
+// sets are empty or a partition has no vertices at all.
+func TestQuerySingleVertexGraphs(t *testing.T) {
+	g := build(1, nil)
+	e, err := New(g, 4) // more partitions than vertices
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if !e.Query([]graph.VertexID{0}, []graph.VertexID{0}) {
+		t.Error("vertex should reach itself")
+	}
+	if e.Query([]graph.VertexID{0}, nil) {
+		t.Error("empty target set should be unreachable")
+	}
+}
+
+func TestQueryAfterClose(t *testing.T) {
+	g := build(2, [][2]graph.VertexID{{0, 1}})
+	e, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // double close must be safe
+	defer func() {
+		if recover() == nil {
+			t.Error("Query on closed engine should panic, not silently answer")
+		}
+	}()
+	e.Query([]graph.VertexID{0}, []graph.VertexID{1})
+}
+
+func TestNewWithPartitioningMismatch(t *testing.T) {
+	g := build(3, [][2]graph.VertexID{{0, 1}})
+	pt, err := graph.HashPartition(build(5, nil), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWithPartitioning(g, pt); err == nil {
+		t.Fatal("want error for mismatched partitioning")
+	}
+	// Hand-rolled partitioning with absent (or wrong) boundary marks is
+	// normalized: marks are recomputed from the edge set, so the engine
+	// still answers correctly instead of panicking or mis-answering.
+	bare := &graph.Partitioning{K: 2, Part: []int32{0, 1, 0}}
+	e, err := NewWithPartitioning(g, bare)
+	if err != nil {
+		t.Fatalf("bare partitioning rejected: %v", err)
+	}
+	defer e.Close()
+	if !e.Query([]graph.VertexID{0}, []graph.VertexID{1}) {
+		t.Fatal("0 should reach 1 across recomputed boundary")
+	}
+	if e.Query([]graph.VertexID{1}, []graph.VertexID{0}) {
+		t.Fatal("1 must not reach 0")
+	}
+	// Partition labels outside [0, K) must be rejected, not panic.
+	oob := &graph.Partitioning{K: 2, Part: []int32{0, 5, 0}}
+	if _, err := NewWithPartitioning(g, oob); err == nil {
+		t.Fatal("want error for out-of-range partition label")
+	}
+}
+
+// BenchmarkQuery seeds the performance trajectory: a 10k-vertex random
+// graph, 4 partitions, pre-generated random query sets.
+func BenchmarkQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 10000
+	g := randomGraph(rng, n, 4)
+	e, err := New(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	const nq = 256
+	queries := make([][2][]graph.VertexID, nq)
+	for i := range queries {
+		queries[i] = [2][]graph.VertexID{randomSet(rng, n, 8), randomSet(rng, n, 8)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%nq]
+		e.Query(q[0], q[1])
+	}
+}
+
+// BenchmarkNaiveReach is the unpartitioned baseline for the same workload.
+func BenchmarkNaiveReach(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 10000
+	g := randomGraph(rng, n, 4)
+	const nq = 256
+	queries := make([][2][]graph.VertexID, nq)
+	for i := range queries {
+		queries[i] = [2][]graph.VertexID{randomSet(rng, n, 8), randomSet(rng, n, 8)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%nq]
+		NaiveReach(g, q[0], q[1])
+	}
+}

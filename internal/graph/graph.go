@@ -1,0 +1,104 @@
+// Package graph provides the in-memory directed graph used by the DSR
+// engine: a compact CSR (compressed sparse row) representation with both
+// forward and reverse adjacency, an incremental Builder, an edge-list
+// loader, and deterministic partitioners that label every vertex with a
+// partition and mark boundary vertices.
+package graph
+
+// VertexID identifies a vertex. Vertices are dense: 0..NumVertices()-1.
+type VertexID = uint32
+
+// Graph is an immutable directed graph in CSR form. Both forward and
+// reverse adjacency are materialized so that local backward searches
+// (needed for target-side set reachability) are as cheap as forward ones.
+type Graph struct {
+	offsets  []int64
+	edges    []VertexID
+	roffsets []int64
+	redges   []VertexID
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of directed edges (multi-edges counted).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Out returns the out-neighbors of v as a shared slice; callers must not
+// mutate it.
+func (g *Graph) Out(v VertexID) []VertexID {
+	return g.edges[g.offsets[v]:g.offsets[v+1]]
+}
+
+// In returns the in-neighbors of v as a shared slice; callers must not
+// mutate it.
+func (g *Graph) In(v VertexID) []VertexID {
+	return g.redges[g.roffsets[v]:g.roffsets[v+1]]
+}
+
+// Edges calls fn for every directed edge (u, v).
+func (g *Graph) Edges(fn func(u, v VertexID)) {
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Out(VertexID(u)) {
+			fn(VertexID(u), v)
+		}
+	}
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n   int
+	src []VertexID
+	dst []VertexID
+}
+
+// NewBuilder returns a Builder for a graph with at least n vertices.
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// EnsureVertex grows the vertex count so that v is a valid vertex.
+func (b *Builder) EnsureVertex(v VertexID) {
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+}
+
+// AddEdge records the directed edge u -> v, growing the vertex count as
+// needed.
+func (b *Builder) AddEdge(u, v VertexID) {
+	b.EnsureVertex(u)
+	b.EnsureVertex(v)
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+}
+
+// Build produces the CSR graph. The Builder may be reused afterwards, but
+// edges already added remain.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		offsets:  make([]int64, b.n+1),
+		roffsets: make([]int64, b.n+1),
+		edges:    make([]VertexID, len(b.src)),
+		redges:   make([]VertexID, len(b.src)),
+	}
+	// Counting sort by source (forward CSR) and by destination (reverse).
+	for _, u := range b.src {
+		g.offsets[u+1]++
+	}
+	for _, v := range b.dst {
+		g.roffsets[v+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		g.offsets[i] += g.offsets[i-1]
+		g.roffsets[i] += g.roffsets[i-1]
+	}
+	fcur := make([]int64, b.n)
+	rcur := make([]int64, b.n)
+	for i := range b.src {
+		u, v := b.src[i], b.dst[i]
+		g.edges[g.offsets[u]+fcur[u]] = v
+		fcur[u]++
+		g.redges[g.roffsets[v]+rcur[v]] = u
+		rcur[v]++
+	}
+	return g
+}

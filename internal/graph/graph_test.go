@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func sorted(s []VertexID) []VertexID {
+	out := append([]VertexID(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestBuilderCSR(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 0)
+	g := b.Build()
+
+	if got, want := g.NumVertices(), 4; got != want {
+		t.Fatalf("NumVertices = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), 4; got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	cases := []struct {
+		v   VertexID
+		out []VertexID
+		in  []VertexID
+	}{
+		{0, []VertexID{1, 2}, []VertexID{3}},
+		{1, nil, []VertexID{0, 2}},
+		{2, []VertexID{1}, []VertexID{0}},
+		{3, []VertexID{0}, nil},
+	}
+	for _, c := range cases {
+		if got := sorted(g.Out(c.v)); !reflect.DeepEqual(got, sorted(c.out)) {
+			t.Errorf("Out(%d) = %v, want %v", c.v, got, c.out)
+		}
+		if got := sorted(g.In(c.v)); !reflect.DeepEqual(got, sorted(c.in)) {
+			t.Errorf("In(%d) = %v, want %v", c.v, got, c.in)
+		}
+	}
+}
+
+func TestBuilderIsolatedVertices(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if got, want := g.NumVertices(), 5; got != want {
+		t.Fatalf("NumVertices = %d, want %d", got, want)
+	}
+	for _, v := range []VertexID{0, 3, 4} {
+		if len(g.Out(v)) != 0 || len(g.In(v)) != 0 {
+			t.Errorf("vertex %d should be isolated", v)
+		}
+	}
+}
+
+func TestEnsureVertexGrows(t *testing.T) {
+	b := NewBuilder(0)
+	b.EnsureVertex(7)
+	g := b.Build()
+	if got, want := g.NumVertices(), 8; got != want {
+		t.Fatalf("NumVertices = %d, want %d", got, want)
+	}
+}
+
+func TestEdgesVisitsAll(t *testing.T) {
+	b := NewBuilder(0)
+	want := map[[2]VertexID]int{
+		{0, 1}: 1, {1, 2}: 1, {2, 0}: 2, // multi-edge preserved
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 0)
+	g := b.Build()
+	got := map[[2]VertexID]int{}
+	g.Edges(func(u, v VertexID) { got[[2]VertexID{u, v}]++ })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges visited %v, want %v", got, want)
+	}
+}

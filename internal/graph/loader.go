@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadEdgeList parses a whitespace-separated edge list: one "u v" pair
+// per line, blank lines and lines starting with '#' ignored. Vertex IDs
+// are non-negative integers; the graph gets max(id)+1 vertices. One
+// comment form is meaningful: a "# vertices N" directive raises the
+// vertex count to at least N, so graphs with trailing isolated vertices
+// round-trip through WriteEdgeList (which emits it).
+func LoadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			if n, ok := parseVertexDirective(line); ok && n > 0 {
+				b.EnsureVertex(VertexID(n - 1))
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", lineno, len(fields))
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %v", lineno, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q: %v", lineno, fields[1], err)
+		}
+		b.AddEdge(VertexID(u), VertexID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// LoadEdgeListFile loads an edge list from the file at path.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEdgeList(f)
+}
+
+// parseVertexDirective recognizes "# vertices N" comments.
+func parseVertexDirective(line string) (uint64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "#" || fields[1] != "vertices" {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// WriteEdgeList writes g in the format accepted by LoadEdgeList: a
+// "# vertices N" directive (so isolated vertices survive a round trip)
+// followed by the edges ordered by source vertex.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	_, err := fmt.Fprintf(bw, "# vertices %d\n", g.NumVertices())
+	g.Edges(func(u, v VertexID) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeListFixture(t *testing.T) {
+	g, err := LoadEdgeListFile(filepath.Join("testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.NumVertices(), 8; got != want {
+		t.Fatalf("NumVertices = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), 9; got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	if got := sorted(g.Out(3)); len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("Out(3) = %v, want [0 4]", got)
+	}
+}
+
+func TestLoadEdgeListRoundTrip(t *testing.T) {
+	g, err := LoadEdgeListFile(filepath.Join("testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+			g.NumVertices(), g.NumEdges(), g2.NumVertices(), g2.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := sorted(g.Out(VertexID(v))), sorted(g2.Out(VertexID(v)))
+		if len(a) != len(b) {
+			t.Fatalf("Out(%d) degree changed: %v vs %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Out(%d) changed: %v vs %v", v, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"three fields", "1 2 3\n"},
+		{"non-numeric", "a b\n"},
+		{"negative", "-1 2\n"},
+	}
+	for _, c := range cases {
+		if _, err := LoadEdgeList(strings.NewReader(c.input)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestRoundTripPreservesIsolatedVertices(t *testing.T) {
+	// Vertices 0, 3, 4 are isolated; 4 is trailing, so without the
+	// "# vertices" directive the reloaded graph would shrink to 3.
+	b := NewBuilder(5)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g2.NumVertices(), 5; got != want {
+		t.Fatalf("NumVertices after round trip = %d, want %d", got, want)
+	}
+	if got, want := g2.NumEdges(), 1; got != want {
+		t.Fatalf("NumEdges after round trip = %d, want %d", got, want)
+	}
+}
+
+func TestVertexDirective(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("# vertices 10\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.NumVertices(), 10; got != want {
+		t.Fatalf("NumVertices = %d, want %d", got, want)
+	}
+	// The directive is a floor, not a cap.
+	g, err = LoadEdgeList(strings.NewReader("# vertices 2\n0 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.NumVertices(), 8; got != want {
+		t.Fatalf("NumVertices = %d, want %d", got, want)
+	}
+	// Malformed directives stay plain comments.
+	for _, in := range []string{"# vertices\n", "# vertices x\n", "# vertices 1 2\n"} {
+		g, err := LoadEdgeList(strings.NewReader(in))
+		if err != nil || g.NumVertices() != 0 {
+			t.Errorf("%q: got %v vertices, err %v; want plain comment", in, g.NumVertices(), err)
+		}
+	}
+}
+
+func TestLoadEdgeListCommentsAndBlank(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("# header\n\n0 1\n  \n# mid\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.NumVertices() != 3 {
+		t.Fatalf("got %d vertices / %d edges, want 3 / 2", g.NumVertices(), g.NumEdges())
+	}
+}

@@ -1,0 +1,105 @@
+package graph
+
+import "fmt"
+
+// Partitioning assigns every vertex to exactly one of K partitions and
+// records, per vertex, whether it sits on a partition boundary:
+//
+//   - Exit[v]  — v has an out-edge into another partition (boundary
+//     out-node; cross-partition paths leave v's partition through it).
+//   - Entry[v] — v has an in-edge from another partition (boundary
+//     in-node; cross-partition paths enter v's partition through it).
+//
+// Boundary vertices are the only vertices that appear in the compressed
+// boundary graph, which is what keeps cross-partition traffic small.
+type Partitioning struct {
+	K     int
+	Part  []int32
+	Entry []bool
+	Exit  []bool
+}
+
+// IsBoundary reports whether v has any cross-partition edge. On a
+// hand-rolled Partitioning whose Entry/Exit marks were never computed
+// (PartitionWith fills them), absent marks read as non-boundary rather
+// than panicking.
+func (p *Partitioning) IsBoundary(v VertexID) bool {
+	return int(v) < len(p.Entry) && p.Entry[v] || int(v) < len(p.Exit) && p.Exit[v]
+}
+
+// NumBoundary returns the number of boundary vertices.
+func (p *Partitioning) NumBoundary() int {
+	c := 0
+	for v := range p.Part {
+		if p.IsBoundary(VertexID(v)) {
+			c++
+		}
+	}
+	return c
+}
+
+// PartitionFunc maps a vertex to a partition in [0, k) given the total
+// vertex count n. It must be deterministic.
+type PartitionFunc func(v VertexID, n, k int) int32
+
+// HashPartitionFunc spreads vertices across partitions with a fixed
+// multiplicative hash (Knuth's 2654435761), so the assignment is
+// deterministic across runs and processes.
+func HashPartitionFunc(v VertexID, _ int, k int) int32 {
+	h := uint64(v) * 2654435761
+	h ^= h >> 16
+	return int32(h % uint64(k))
+}
+
+// RangePartitionFunc assigns contiguous, near-equal vertex ranges to
+// partitions: useful when vertex IDs are locality-preserving.
+func RangePartitionFunc(v VertexID, n, k int) int32 {
+	if n == 0 {
+		return 0
+	}
+	per := (n + k - 1) / k
+	p := int(v) / per
+	if p >= k {
+		p = k - 1
+	}
+	return int32(p)
+}
+
+// HashPartition partitions g into k parts with HashPartitionFunc.
+func HashPartition(g *Graph, k int) (*Partitioning, error) {
+	return PartitionWith(g, k, HashPartitionFunc)
+}
+
+// RangePartition partitions g into k contiguous vertex ranges.
+func RangePartition(g *Graph, k int) (*Partitioning, error) {
+	return PartitionWith(g, k, RangePartitionFunc)
+}
+
+// PartitionWith labels every vertex with fn and then scans the edge set
+// once to mark boundary entry/exit vertices.
+func PartitionWith(g *Graph, k int, fn PartitionFunc) (*Partitioning, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: partition count must be >= 1, got %d", k)
+	}
+	n := g.NumVertices()
+	pt := &Partitioning{
+		K:     k,
+		Part:  make([]int32, n),
+		Entry: make([]bool, n),
+		Exit:  make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		p := fn(VertexID(v), n, k)
+		if p < 0 || int(p) >= k {
+			return nil, fmt.Errorf("graph: partition func returned %d for vertex %d, want [0,%d)", p, v, k)
+		}
+		pt.Part[v] = p
+	}
+	g.Edges(func(u, v VertexID) {
+		if pt.Part[u] != pt.Part[v] {
+			pt.Exit[u] = true
+			pt.Entry[v] = true
+		}
+	})
+	return pt, nil
+}

@@ -1,0 +1,147 @@
+package graph
+
+import "testing"
+
+// chain builds 0 -> 1 -> 2 -> ... -> n-1.
+func chain(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(VertexID(i), VertexID(i+1))
+	}
+	return b.Build()
+}
+
+func TestPartitionersAssignEveryVertexOnce(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Graph, int) (*Partitioning, error)
+	}{
+		{"hash", HashPartition},
+		{"range", RangePartition},
+	}
+	sizes := []int{0, 1, 2, 7, 100}
+	ks := []int{1, 2, 3, 8}
+	for _, c := range cases {
+		for _, n := range sizes {
+			for _, k := range ks {
+				g := chain(n)
+				pt, err := c.fn(g, k)
+				if err != nil {
+					t.Fatalf("%s(n=%d,k=%d): %v", c.name, n, k, err)
+				}
+				if len(pt.Part) != n {
+					t.Fatalf("%s(n=%d,k=%d): %d labels", c.name, n, k, len(pt.Part))
+				}
+				for v, p := range pt.Part {
+					if p < 0 || int(p) >= k {
+						t.Errorf("%s(n=%d,k=%d): vertex %d in partition %d", c.name, n, k, v, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		if _, err := HashPartition(chain(4), k); err == nil {
+			t.Errorf("HashPartition(k=%d): want error", k)
+		}
+	}
+}
+
+func TestRangePartitionContiguous(t *testing.T) {
+	pt, err := RangePartition(chain(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 10; v++ {
+		if pt.Part[v] < pt.Part[v-1] {
+			t.Fatalf("range partition not monotone at vertex %d: %v", v, pt.Part)
+		}
+	}
+}
+
+func TestHashPartitionDeterministic(t *testing.T) {
+	g := chain(50)
+	a, _ := HashPartition(g, 4)
+	b, _ := HashPartition(g, 4)
+	for v := range a.Part {
+		if a.Part[v] != b.Part[v] {
+			t.Fatalf("hash partition not deterministic at vertex %d", v)
+		}
+	}
+}
+
+// TestBoundaryDetection checks entry/exit marking on hand-built graphs.
+func TestBoundaryDetection(t *testing.T) {
+	// Two partitions by range over 4 vertices: {0,1} and {2,3}.
+	// Edges: 0->1 (internal), 1->2 (cross), 2->3 (internal), 3->0 (cross).
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.Build()
+	pt, err := RangePartition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntry := []bool{true, false, true, false}
+	wantExit := []bool{false, true, false, true}
+	for v := 0; v < 4; v++ {
+		if pt.Entry[v] != wantEntry[v] {
+			t.Errorf("Entry[%d] = %v, want %v", v, pt.Entry[v], wantEntry[v])
+		}
+		if pt.Exit[v] != wantExit[v] {
+			t.Errorf("Exit[%d] = %v, want %v", v, pt.Exit[v], wantExit[v])
+		}
+		if pt.IsBoundary(VertexID(v)) != (wantEntry[v] || wantExit[v]) {
+			t.Errorf("IsBoundary(%d) wrong", v)
+		}
+	}
+	if got, want := pt.NumBoundary(), 4; got != want {
+		t.Errorf("NumBoundary = %d, want %d", got, want)
+	}
+}
+
+func TestIsBoundaryOnBarePartitioning(t *testing.T) {
+	// Hand-rolled value with no computed marks: must read as non-boundary,
+	// not panic.
+	p := &Partitioning{K: 2, Part: []int32{0, 1, 0}}
+	for v := 0; v < 3; v++ {
+		if p.IsBoundary(VertexID(v)) {
+			t.Errorf("IsBoundary(%d) on bare partitioning = true", v)
+		}
+	}
+	if got := p.NumBoundary(); got != 0 {
+		t.Errorf("NumBoundary on bare partitioning = %d, want 0", got)
+	}
+}
+
+func TestBoundaryNoneWhenSinglePartition(t *testing.T) {
+	g := chain(6)
+	pt, err := HashPartition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.NumBoundary(); got != 0 {
+		t.Fatalf("k=1 graph has %d boundary vertices, want 0", got)
+	}
+}
+
+func TestBoundaryInternalEdgesOnly(t *testing.T) {
+	// All vertices in one range partition out of two: 0..2 in part 0,
+	// no vertex in part 1 touches an edge.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	pt, err := RangePartition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.NumBoundary(); got != 0 {
+		t.Fatalf("internal-only edges produced %d boundary vertices, want 0", got)
+	}
+}

@@ -1,0 +1,37 @@
+package partition
+
+// Marks is a reusable epoch-based visited set over a fixed index range.
+// Clearing between generations is O(1): bump the epoch and every index
+// reads as unmarked. The wrap-around case (once per 2^32 generations)
+// zeroes the array and restarts, so stale marks can never alias a new
+// generation.
+type Marks struct {
+	mark  []uint32
+	epoch uint32
+}
+
+// NewMarks returns a mark set over indices [0, n), ready to use: the
+// epoch starts at 1 so a zeroed array reads as unmarked even before the
+// first Reset.
+func NewMarks(n int) *Marks { return &Marks{mark: make([]uint32, n), epoch: 1} }
+
+// Reset starts a new generation; all indices become unmarked.
+func (m *Marks) Reset() {
+	m.epoch++
+	if m.epoch == 0 { // wrapped: clear and restart
+		clear(m.mark)
+		m.epoch = 1
+	}
+}
+
+// Mark marks v and reports whether it was newly marked this generation.
+func (m *Marks) Mark(v int32) bool {
+	if m.mark[v] == m.epoch {
+		return false
+	}
+	m.mark[v] = m.epoch
+	return true
+}
+
+// Seen reports whether v has been marked this generation.
+func (m *Marks) Seen(v int32) bool { return m.mark[v] == m.epoch }

@@ -1,0 +1,54 @@
+package partition
+
+import "testing"
+
+func TestMarksFreshIsUnmarked(t *testing.T) {
+	// A fresh Marks must treat every index as unmarked without a Reset.
+	m := NewMarks(3)
+	if m.Seen(0) || m.Seen(2) {
+		t.Fatal("fresh Marks should see nothing")
+	}
+	if !m.Mark(0) {
+		t.Fatal("Mark on fresh Marks should be new")
+	}
+	if !m.Seen(0) {
+		t.Fatal("Mark on fresh Marks should stick")
+	}
+}
+
+func TestMarksGenerations(t *testing.T) {
+	m := NewMarks(4)
+	m.Reset()
+	if !m.Mark(1) {
+		t.Fatal("first Mark(1) should be new")
+	}
+	if m.Mark(1) {
+		t.Fatal("second Mark(1) should not be new")
+	}
+	if !m.Seen(1) || m.Seen(2) {
+		t.Fatal("Seen wrong within generation")
+	}
+	m.Reset()
+	if m.Seen(1) {
+		t.Fatal("Reset should clear marks")
+	}
+	if !m.Mark(1) {
+		t.Fatal("Mark(1) should be new again after Reset")
+	}
+}
+
+func TestMarksEpochWrap(t *testing.T) {
+	m := NewMarks(2)
+	m.Mark(0)
+	m.epoch = ^uint32(0) // force the next Reset to wrap
+	m.Reset()
+	if m.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", m.epoch)
+	}
+	if m.Seen(0) || m.Seen(1) {
+		t.Fatal("wrap must clear all marks")
+	}
+	if !m.Mark(0) {
+		t.Fatal("Mark after wrap should be new")
+	}
+}

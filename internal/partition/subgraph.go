@@ -1,0 +1,162 @@
+// Package partition extracts per-partition subgraphs from a partitioned
+// graph and compresses each one into a small boundary-to-boundary edge
+// set: for every boundary in-node (entry) of the partition, the set of
+// boundary out-nodes (exits) it can reach without leaving the partition.
+// These summaries are what the DSR engine stitches into the global
+// boundary graph, so cross-partition query traffic only ever involves
+// boundary vertices.
+package partition
+
+import (
+	"dsr/internal/graph"
+)
+
+// Subgraph is the induced subgraph of one partition with dense local
+// vertex IDs and both forward and reverse CSR adjacency over the
+// intra-partition edges only.
+type Subgraph struct {
+	ID     int
+	global []graph.VertexID // local -> global
+	foff   []int64
+	fedges []int32
+	roff   []int64
+	redges []int32
+	// Entries and Exits are local IDs of boundary in-/out-nodes.
+	Entries []int32
+	Exits   []int32
+}
+
+// NumVertices returns the number of vertices in the partition.
+func (s *Subgraph) NumVertices() int { return len(s.global) }
+
+// GlobalID maps a local vertex ID back to the global ID.
+func (s *Subgraph) GlobalID(local int32) graph.VertexID { return s.global[local] }
+
+// Extract splits g into one Subgraph per partition. The returned local
+// slice maps every global vertex to its local ID within its partition.
+func Extract(g *graph.Graph, pt *graph.Partitioning) ([]*Subgraph, []int32) {
+	n := g.NumVertices()
+	local := make([]int32, n)
+	subs := make([]*Subgraph, pt.K)
+	for p := range subs {
+		subs[p] = &Subgraph{ID: p}
+	}
+	for v := 0; v < n; v++ {
+		s := subs[pt.Part[v]]
+		local[v] = int32(len(s.global))
+		s.global = append(s.global, graph.VertexID(v))
+	}
+	for _, s := range subs {
+		s.foff = make([]int64, s.NumVertices()+1)
+		s.roff = make([]int64, s.NumVertices()+1)
+	}
+	// Two passes over the edge set: count, then fill.
+	g.Edges(func(u, v graph.VertexID) {
+		if pt.Part[u] == pt.Part[v] {
+			s := subs[pt.Part[u]]
+			s.foff[local[u]+1]++
+			s.roff[local[v]+1]++
+		}
+	})
+	for _, s := range subs {
+		for i := 1; i <= s.NumVertices(); i++ {
+			s.foff[i] += s.foff[i-1]
+			s.roff[i] += s.roff[i-1]
+		}
+		s.fedges = make([]int32, s.foff[s.NumVertices()])
+		s.redges = make([]int32, s.roff[s.NumVertices()])
+	}
+	fcur := make([]int64, n)
+	rcur := make([]int64, n)
+	g.Edges(func(u, v graph.VertexID) {
+		if pt.Part[u] == pt.Part[v] {
+			s := subs[pt.Part[u]]
+			lu, lv := local[u], local[v]
+			s.fedges[s.foff[lu]+fcur[u]] = lv
+			fcur[u]++
+			s.redges[s.roff[lv]+rcur[v]] = lu
+			rcur[v]++
+		}
+	})
+	// Absent Entry/Exit marks (a hand-rolled Partitioning) read as
+	// non-boundary, matching Partitioning.IsBoundary.
+	for v := 0; v < n; v++ {
+		s := subs[pt.Part[v]]
+		if v < len(pt.Entry) && pt.Entry[v] {
+			s.Entries = append(s.Entries, local[v])
+		}
+		if v < len(pt.Exit) && pt.Exit[v] {
+			s.Exits = append(s.Exits, local[v])
+		}
+	}
+	return subs, local
+}
+
+// Scratch is reusable per-worker BFS state: an epoch-marked visited set
+// plus the BFS queue.
+type Scratch struct {
+	marks *Marks
+	queue []int32
+}
+
+// NewScratch returns scratch sized for a subgraph with n vertices.
+func NewScratch(n int) *Scratch { return &Scratch{marks: NewMarks(n)} }
+
+func (sc *Scratch) reset() {
+	sc.marks.Reset()
+	sc.queue = sc.queue[:0]
+}
+
+// ReachForward returns every local vertex reachable from seeds (seeds
+// included) following intra-partition edges forward. The returned slice
+// aliases sc and is valid until the next call with the same Scratch.
+func (s *Subgraph) ReachForward(seeds []int32, sc *Scratch) []int32 {
+	return s.reach(seeds, sc, s.foff, s.fedges)
+}
+
+// ReachBackward is ReachForward over reversed edges: every local vertex
+// that can reach one of seeds inside the partition.
+func (s *Subgraph) ReachBackward(seeds []int32, sc *Scratch) []int32 {
+	return s.reach(seeds, sc, s.roff, s.redges)
+}
+
+func (s *Subgraph) reach(seeds []int32, sc *Scratch, off []int64, edges []int32) []int32 {
+	sc.reset()
+	for _, v := range seeds {
+		if sc.marks.Mark(v) {
+			sc.queue = append(sc.queue, v)
+		}
+	}
+	for head := 0; head < len(sc.queue); head++ {
+		v := sc.queue[head]
+		for _, w := range edges[off[v]:off[v+1]] {
+			if sc.marks.Mark(w) {
+				sc.queue = append(sc.queue, w)
+			}
+		}
+	}
+	return sc.queue
+}
+
+// Summary compresses the partition into boundary-to-boundary edges: one
+// (entry, exit) pair of global IDs for every exit reachable from each
+// entry without leaving the partition. An entry that is itself an exit
+// yields the pair (e, e).
+func (s *Subgraph) Summary() [][2]graph.VertexID {
+	sc := NewScratch(s.NumVertices())
+	isExit := make([]bool, s.NumVertices())
+	for _, x := range s.Exits {
+		isExit[x] = true
+	}
+	var pairs [][2]graph.VertexID
+	seed := make([]int32, 1)
+	for _, e := range s.Entries {
+		seed[0] = e
+		for _, v := range s.ReachForward(seed, sc) {
+			if isExit[v] {
+				pairs = append(pairs, [2]graph.VertexID{s.global[e], s.global[v]})
+			}
+		}
+	}
+	return pairs
+}
