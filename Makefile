@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check lint bench bench-smoke
+.PHONY: build test vet fmt fmt-check lint bench bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,13 @@ bench:
 # One iteration per benchmark: cheap CI smoke that the harness still runs.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Same cheap single-iteration run, converted to BENCH_build.json so CI
+# can archive a per-commit perf record (tools/benchjson does the parse).
+# Two steps, not a pipe: a pipe would return benchjson's exit status and
+# mask benchmark failures.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... > bench.out
+	$(GO) run ./tools/benchjson < bench.out > BENCH_build.json
+	@rm -f bench.out
+	@echo "wrote BENCH_build.json"

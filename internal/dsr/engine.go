@@ -19,11 +19,13 @@ package dsr
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
 
 	"dsr/internal/graph"
 	"dsr/internal/partition"
+	"dsr/internal/scc"
 )
 
 // boundaryGraph is the compressed global view: vertices are the boundary
@@ -48,17 +50,33 @@ func buildBoundaryGraph(g *graph.Graph, pt *graph.Partitioning, subs []*partitio
 		du := bg.dense[u]
 		bg.adj[du] = append(bg.adj[du], bg.dense[v])
 	}
-	// Each partition's summary is independent: compress them in parallel,
-	// then stitch single-threaded.
+	// Each partition's summary is independent: compress them with a
+	// bounded pool, then stitch single-threaded. Every pool goroutine
+	// owns one Scratch sized for the largest partition and reuses it
+	// (BFS marks, scc workspace) across every partition it compresses.
 	summaries := make([][][2]graph.VertexID, len(subs))
-	var wg sync.WaitGroup
-	for i, s := range subs {
-		wg.Add(1)
-		go func(i int, s *partition.Subgraph) {
-			defer wg.Done()
-			summaries[i] = s.Summary()
-		}(i, s)
+	maxN := 0
+	for _, s := range subs {
+		if n := s.NumVertices(); n > maxN {
+			maxN = n
+		}
 	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < min(runtime.GOMAXPROCS(0), len(subs)); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := partition.NewScratch(maxN)
+			for p := range work {
+				summaries[p] = subs[p].Summary(sc)
+			}
+		}()
+	}
+	for p := range subs {
+		work <- p
+	}
+	close(work)
 	wg.Wait()
 	for _, pairs := range summaries {
 		for _, pair := range pairs {
@@ -104,28 +122,37 @@ type result struct {
 // into an RPC shard: the coordinator only ever exchanges seed sets and
 // boundary-vertex sets with it.
 //
-// All scratch (BFS marks, target marks, result buffers) is owned by the
+// Local searches run over the partition's SCC condensation, not its
+// vertices: a BFS visits each component once, so a partition that is one
+// big cycle costs O(1) queue work instead of O(V). Vertex-level answers
+// (local hits, reached boundary vertices) are read back through the
+// component member lists, which enumerate exactly the reachable
+// vertices.
+//
+// All scratch (component marks, queue, result buffers) is owned by the
 // worker and reused across tasks with the epoch trick, so steady-state
 // queries allocate nothing here. Reuse is safe because the coordinator
 // fully drains every query's replies before the next query can send.
 type worker struct {
 	sub     *partition.Subgraph
-	sc      *partition.Scratch
+	cond    *scc.Condensation
 	isEntry []bool
 	isExit  []bool
-	tmark   *partition.Marks // target-membership marks for forward tasks
+	cvisit  *partition.Marks // component-level BFS visited marks
+	cqueue  []int32          // component-level BFS queue
 	fbuf    []graph.VertexID // result buffer for forward tasks
 	bbuf    []graph.VertexID // result buffer for backward tasks
 	tasks   chan task
 }
 
 func newWorker(sub *partition.Subgraph) *worker {
+	cond := sub.Condensation(nil) // cached from the summary build
 	w := &worker{
 		sub:     sub,
-		sc:      partition.NewScratch(sub.NumVertices()),
+		cond:    cond,
 		isEntry: make([]bool, sub.NumVertices()),
 		isExit:  make([]bool, sub.NumVertices()),
-		tmark:   partition.NewMarks(sub.NumVertices()),
+		cvisit:  partition.NewMarks(cond.N),
 		tasks:   make(chan task, 2), // at most one forward + one backward per query
 	}
 	for _, e := range sub.Entries {
@@ -137,30 +164,64 @@ func newWorker(sub *partition.Subgraph) *worker {
 	return w
 }
 
+// bfs runs a component-level BFS from the components of the given local
+// seed vertices, forward or backward over the condensation DAG, and
+// returns the visited components. The returned slice aliases w.cqueue
+// and the visit marks stay valid until the next call.
+func (w *worker) bfs(seeds []int32, forward bool) []int32 {
+	w.cvisit.Reset()
+	q := w.cqueue[:0]
+	for _, v := range seeds {
+		if c := w.cond.Comp[v]; w.cvisit.Mark(c) {
+			q = append(q, c)
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		var nbrs []int32
+		if forward {
+			nbrs = w.cond.Out(q[head])
+		} else {
+			nbrs = w.cond.In(q[head])
+		}
+		for _, d := range nbrs {
+			if w.cvisit.Mark(d) {
+				q = append(q, d)
+			}
+		}
+	}
+	w.cqueue = q
+	return q
+}
+
 func (w *worker) run() {
 	for t := range w.tasks {
 		res := result{kind: t.kind}
 		switch t.kind {
 		case taskForward:
-			w.tmark.Reset()
+			comps := w.bfs(t.seeds, true)
 			for _, v := range t.targets {
-				w.tmark.Mark(v)
+				if w.cvisit.Seen(w.cond.Comp[v]) {
+					res.hit = true
+					break
+				}
 			}
 			buf := w.fbuf[:0]
-			for _, v := range w.sub.ReachForward(t.seeds, w.sc) {
-				if w.tmark.Seen(v) {
-					res.hit = true
-				}
-				if w.isExit[v] {
-					buf = append(buf, w.sub.GlobalID(v))
+			for _, c := range comps {
+				for _, v := range w.cond.Members(c) {
+					if w.isExit[v] {
+						buf = append(buf, w.sub.GlobalID(v))
+					}
 				}
 			}
 			w.fbuf, res.boundary = buf, buf
 		case taskBackward:
+			comps := w.bfs(t.seeds, false)
 			buf := w.bbuf[:0]
-			for _, v := range w.sub.ReachBackward(t.seeds, w.sc) {
-				if w.isEntry[v] {
-					buf = append(buf, w.sub.GlobalID(v))
+			for _, c := range comps {
+				for _, v := range w.cond.Members(c) {
+					if w.isEntry[v] {
+						buf = append(buf, w.sub.GlobalID(v))
+					}
 				}
 			}
 			w.bbuf, res.boundary = buf, buf
@@ -190,6 +251,7 @@ type Engine struct {
 	// queries.
 	reply    chan result
 	tmark    *partition.Marks // global T-membership marks
+	smark    *partition.Marks // global S-dedup marks
 	fwdBuf   [][]int32        // per-partition S seeds (local IDs)
 	bwdBuf   [][]int32        // per-partition T seeds (local IDs)
 	fwdParts []int32          // partitions touched by S this query
@@ -238,6 +300,7 @@ func newEngine(g *graph.Graph, pt *graph.Partitioning) *Engine {
 		bg:     buildBoundaryGraph(g, pt, subs),
 		reply:  make(chan result, 2*pt.K),
 		tmark:  partition.NewMarks(g.NumVertices()),
+		smark:  partition.NewMarks(g.NumVertices()),
 		fwdBuf: make([][]int32, pt.K),
 		bwdBuf: make([][]int32, pt.K),
 	}
@@ -294,9 +357,10 @@ func (e *Engine) Query(S, T []graph.VertexID) bool {
 	n := graph.VertexID(e.n)
 
 	// Fan the query out: group S and T by partition as local seed sets,
-	// using epoch marks for T membership and reused per-partition buffers
-	// instead of per-query maps.
+	// using epoch marks for T membership and S dedup and reused
+	// per-partition buffers instead of per-query maps.
 	e.tmark.Reset()
+	e.smark.Reset()
 	e.fwdParts = e.fwdParts[:0]
 	e.bwdParts = e.bwdParts[:0]
 	for _, t := range T {
@@ -314,7 +378,9 @@ func (e *Engine) Query(S, T []graph.VertexID) bool {
 		return false
 	}
 	for _, s := range S {
-		if s >= n {
+		// smark dedupes S the way tmark dedupes T: duplicate sources
+		// would otherwise inflate the per-partition seed buffers.
+		if s >= n || !e.smark.Mark(int32(s)) {
 			continue
 		}
 		if e.tmark.Seen(int32(s)) {

@@ -9,6 +9,7 @@ package partition
 
 import (
 	"dsr/internal/graph"
+	"dsr/internal/scc"
 )
 
 // Subgraph is the induced subgraph of one partition with dense local
@@ -24,6 +25,12 @@ type Subgraph struct {
 	// Entries and Exits are local IDs of boundary in-/out-nodes.
 	Entries []int32
 	Exits   []int32
+
+	// Lazily built and cached by Condensation/Index. Not synchronized:
+	// concurrent builders must each own distinct subgraphs (as the
+	// engine's build pool does).
+	cond  *scc.Condensation
+	index *scc.Index
 }
 
 // NumVertices returns the number of vertices in the partition.
@@ -31,6 +38,35 @@ func (s *Subgraph) NumVertices() int { return len(s.global) }
 
 // GlobalID maps a local vertex ID back to the global ID.
 func (s *Subgraph) GlobalID(local int32) graph.VertexID { return s.global[local] }
+
+// Out returns the local out-neighbors of v over intra-partition edges.
+// Together with NumVertices it implements scc.Adjacency. Callers must
+// not mutate the returned slice.
+func (s *Subgraph) Out(v int32) []int32 { return s.fedges[s.foff[v]:s.foff[v+1]] }
+
+// In returns the local in-neighbors of v over intra-partition edges.
+// Callers must not mutate the returned slice.
+func (s *Subgraph) In(v int32) []int32 { return s.redges[s.roff[v]:s.roff[v+1]] }
+
+// Condensation returns the SCC condensation of the subgraph, building
+// and caching it on first call. sc may be nil; when non-nil its scc
+// workspace is reused for the build.
+func (s *Subgraph) Condensation(sc *Scratch) *scc.Condensation {
+	if s.cond == nil {
+		s.cond = scc.Condense(s, sc.sccWorkspace())
+	}
+	return s.cond
+}
+
+// Index returns the bitset reachability index over the subgraph's
+// exits, building and caching it (and the condensation) on first call.
+// sc may be nil.
+func (s *Subgraph) Index(sc *Scratch) *scc.Index {
+	if s.index == nil {
+		s.index = scc.BuildIndex(s.Condensation(sc), s.Exits)
+	}
+	return s.index
+}
 
 // Extract splits g into one Subgraph per partition. The returned local
 // slice maps every global vertex to its local ID within its partition.
@@ -92,18 +128,56 @@ func Extract(g *graph.Graph, pt *graph.Partitioning) ([]*Subgraph, []int32) {
 	return subs, local
 }
 
-// Scratch is reusable per-worker BFS state: an epoch-marked visited set
-// plus the BFS queue.
+// Scratch is reusable per-worker working memory: an epoch-marked
+// visited set plus BFS queue for local searches, exit-membership marks
+// for SummaryBFS, and an scc workspace for condensation builds. Every
+// piece is created on first use, so callers that exercise only one path
+// (e.g. the index-based Summary, which needs just the scc workspace)
+// pay for nothing else. A Scratch sized for n vertices works for any
+// subgraph with at most n vertices, so one scratch can serve many
+// partitions.
 type Scratch struct {
-	marks *Marks
+	n     int
+	marks *Marks // BFS visited set, lazy
 	queue []int32
+	xmark *Marks // exit membership for SummaryBFS, lazy
+	scc   *scc.Workspace
 }
 
 // NewScratch returns scratch sized for a subgraph with n vertices.
-func NewScratch(n int) *Scratch { return &Scratch{marks: NewMarks(n)} }
+func NewScratch(n int) *Scratch { return &Scratch{n: n} }
+
+// searchMarks returns the BFS visited set, creating it on first use.
+func (sc *Scratch) searchMarks() *Marks {
+	if sc.marks == nil {
+		sc.marks = NewMarks(sc.n)
+	}
+	return sc.marks
+}
+
+// exitMarks returns the exit-membership set, creating it on first use.
+func (sc *Scratch) exitMarks() *Marks {
+	if sc.xmark == nil {
+		sc.xmark = NewMarks(sc.n)
+	}
+	return sc.xmark
+}
+
+// sccWorkspace returns the scratch's scc workspace, creating it on
+// first use. A nil receiver yields a nil workspace, which the scc
+// package accepts as "allocate privately".
+func (sc *Scratch) sccWorkspace() *scc.Workspace {
+	if sc == nil {
+		return nil
+	}
+	if sc.scc == nil {
+		sc.scc = &scc.Workspace{}
+	}
+	return sc.scc
+}
 
 func (sc *Scratch) reset() {
-	sc.marks.Reset()
+	sc.searchMarks().Reset()
 	sc.queue = sc.queue[:0]
 }
 
@@ -122,15 +196,16 @@ func (s *Subgraph) ReachBackward(seeds []int32, sc *Scratch) []int32 {
 
 func (s *Subgraph) reach(seeds []int32, sc *Scratch, off []int64, edges []int32) []int32 {
 	sc.reset()
+	marks := sc.marks
 	for _, v := range seeds {
-		if sc.marks.Mark(v) {
+		if marks.Mark(v) {
 			sc.queue = append(sc.queue, v)
 		}
 	}
 	for head := 0; head < len(sc.queue); head++ {
 		v := sc.queue[head]
 		for _, w := range edges[off[v]:off[v+1]] {
-			if sc.marks.Mark(w) {
+			if marks.Mark(w) {
 				sc.queue = append(sc.queue, w)
 			}
 		}
@@ -141,19 +216,43 @@ func (s *Subgraph) reach(seeds []int32, sc *Scratch, off []int64, edges []int32)
 // Summary compresses the partition into boundary-to-boundary edges: one
 // (entry, exit) pair of global IDs for every exit reachable from each
 // entry without leaving the partition. An entry that is itself an exit
-// yields the pair (e, e).
-func (s *Subgraph) Summary() [][2]graph.VertexID {
-	sc := NewScratch(s.NumVertices())
-	isExit := make([]bool, s.NumVertices())
+// yields the pair (e, e). It reads off the SCC bitset index — one
+// O(V+E) condensation plus word-parallel propagation covers all
+// entries, instead of one BFS per entry. sc, which may be nil, provides
+// reusable working memory for the index build.
+func (s *Subgraph) Summary(sc *Scratch) [][2]graph.VertexID {
+	ix := s.Index(sc)
+	var pairs [][2]graph.VertexID
+	var buf []int32
+	for _, e := range s.Entries {
+		buf = ix.AppendExitsFrom(e, buf[:0])
+		for _, x := range buf {
+			pairs = append(pairs, [2]graph.VertexID{s.global[e], s.global[x]})
+		}
+	}
+	return pairs
+}
+
+// SummaryBFS is the reference implementation of Summary: one forward
+// BFS per entry, O(B·(V+E)) for B boundary entries. It is kept for
+// differential testing against the index-based path. sc, which may be
+// nil, provides reusable BFS scratch so repeated calls (e.g. across the
+// partitions of one graph) allocate nothing per call.
+func (s *Subgraph) SummaryBFS(sc *Scratch) [][2]graph.VertexID {
+	if sc == nil {
+		sc = NewScratch(s.NumVertices())
+	}
+	xmark := sc.exitMarks()
+	xmark.Reset()
 	for _, x := range s.Exits {
-		isExit[x] = true
+		xmark.Mark(x)
 	}
 	var pairs [][2]graph.VertexID
 	seed := make([]int32, 1)
 	for _, e := range s.Entries {
 		seed[0] = e
 		for _, v := range s.ReachForward(seed, sc) {
-			if isExit[v] {
+			if xmark.Seen(v) {
 				pairs = append(pairs, [2]graph.VertexID{s.global[e], s.global[v]})
 			}
 		}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"math/rand"
 	"sort"
 	"testing"
 
@@ -101,15 +102,15 @@ func TestSummaryCompression(t *testing.T) {
 		t.Fatal(err)
 	}
 	subs, _ := Extract(g, pt)
-	pairs := subs[1].Summary()
+	pairs := subs[1].Summary(nil)
 	if len(pairs) != 1 || pairs[0] != [2]graph.VertexID{2, 3} {
 		t.Fatalf("middle partition summary = %v, want [[2 3]]", pairs)
 	}
 	// First partition has no entries -> empty summary; last has no exits.
-	if got := subs[0].Summary(); len(got) != 0 {
+	if got := subs[0].Summary(nil); len(got) != 0 {
 		t.Fatalf("first partition summary = %v, want empty", got)
 	}
-	if got := subs[2].Summary(); len(got) != 0 {
+	if got := subs[2].Summary(nil); len(got) != 0 {
 		t.Fatalf("last partition summary = %v, want empty", got)
 	}
 }
@@ -126,7 +127,7 @@ func TestSummaryEntryIsExit(t *testing.T) {
 		t.Fatal(err)
 	}
 	subs, _ := Extract(g, pt)
-	pairs := subs[1].Summary()
+	pairs := subs[1].Summary(nil)
 	if len(pairs) != 1 || pairs[0] != [2]graph.VertexID{1, 1} {
 		t.Fatalf("singleton boundary summary = %v, want [[1 1]]", pairs)
 	}
@@ -144,7 +145,7 @@ func TestSummaryDisconnectedBoundary(t *testing.T) {
 		t.Fatal(err)
 	}
 	subs, _ := Extract(g, pt)
-	if got := subs[1].Summary(); len(got) != 0 {
+	if got := subs[1].Summary(nil); len(got) != 0 {
 		t.Fatalf("disconnected boundary summary = %v, want empty", got)
 	}
 }
@@ -172,10 +173,64 @@ func TestSummaryMultipleExits(t *testing.T) {
 		t.Fatal(err)
 	}
 	subs, _ := Extract(g, pt)
-	pairs := subs[1].Summary()
+	pairs := subs[1].Summary(nil)
 	sortPairs(pairs)
 	want := [][2]graph.VertexID{{2, 2}, {2, 3}}
 	if len(pairs) != 2 || pairs[0] != want[0] || pairs[1] != want[1] {
 		t.Fatalf("summary = %v, want %v", pairs, want)
+	}
+}
+
+// TestSummaryIndexVsBFSDifferential pits the SCC-bitset-index summary
+// against the per-entry-BFS reference on randomized graphs across both
+// partitioners: after sorting, the pair sets must be identical. One
+// shared Scratch serves every partition of every graph, exercising the
+// scratch-reuse path as well.
+func TestSummaryIndexVsBFSDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	const graphs = 220
+	const maxN = 120
+	sc := NewScratch(maxN)
+	checkedPartitions := 0
+	for gi := 0; gi < graphs; gi++ {
+		n := 1 + rng.Intn(maxN)
+		deg := []float64{0.5, 1, 2, 4}[rng.Intn(4)]
+		b := graph.NewBuilder(n)
+		for i := 0; i < int(float64(n)*deg); i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		k := 2 + rng.Intn(4)
+		var pt *graph.Partitioning
+		var err error
+		if rng.Intn(2) == 0 {
+			pt, err = graph.HashPartition(g, k)
+		} else {
+			pt, err = graph.RangePartition(g, k)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs, _ := Extract(g, pt)
+		for _, s := range subs {
+			got := s.Summary(sc)
+			want := s.SummaryBFS(sc)
+			sortPairs(got)
+			sortPairs(want)
+			if len(got) != len(want) {
+				t.Fatalf("graph %d partition %d: index summary has %d pairs, BFS has %d\nindex: %v\nbfs:   %v",
+					gi, s.ID, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("graph %d partition %d: pair %d differs: index %v, BFS %v",
+						gi, s.ID, i, got[i], want[i])
+				}
+			}
+			checkedPartitions++
+		}
+	}
+	if checkedPartitions < 200 {
+		t.Fatalf("only %d partitions checked, want >= 200", checkedPartitions)
 	}
 }

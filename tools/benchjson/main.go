@@ -1,0 +1,73 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a JSON array on stdout, one object per benchmark result line:
+//
+//	[{"name": "BenchmarkIndexBuild-8", "pkg": "dsr/internal/dsr",
+//	  "iterations": 1, "metrics": {"ns/op": 2.1e8, "B/op": 123, ...}}]
+//
+// `make bench-json` pipes the benchmark run through it to emit
+// BENCH_build.json, which CI uploads as a workflow artifact so the perf
+// trajectory is recorded per commit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	results := []result{}
+	pkg := ""
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		// `go test -bench ./...` prints "pkg: <path>" headers (and ok/FAIL
+		// trailers) between benchmark lines; remember the current package.
+		if rest, found := strings.CutPrefix(line, "pkg:"); found {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: f[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		// The rest of the line is (value, unit) pairs: ns/op, B/op, ...
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[f[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
