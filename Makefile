@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check lint bench bench-smoke bench-json
+.PHONY: build test test-e2e vet fmt fmt-check lint bench bench-smoke bench-json
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# Localhost shard e2e under the race detector: boots real TCP shard
+# servers (in-process and as the actual dsr-shard/dsr-query binaries)
+# and differentially checks distributed answers against the oracle.
+test-e2e:
+	$(GO) test -race -count=1 -run 'TCP|Distributed' ./...
 
 vet:
 	$(GO) vet ./...
@@ -28,12 +34,15 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Same cheap single-iteration run, converted to BENCH_build.json so CI
-# can archive a per-commit perf record (tools/benchjson does the parse).
-# Two steps, not a pipe: a pipe would return benchjson's exit status and
-# mask benchmark failures.
+# Same cheap single-iteration run, converted to per-commit JSON perf
+# records (tools/benchjson does the parse): BENCH_query.json captures
+# the query paths (BenchmarkQuery, BenchmarkQueryBatch, and the TCP
+# variants), BENCH_build.json everything else. Separate steps, not a
+# pipe: a pipe would return benchjson's exit status and mask benchmark
+# failures.
 bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... > bench.out
-	$(GO) run ./tools/benchjson < bench.out > BENCH_build.json
+	$(GO) run ./tools/benchjson -not '^Benchmark((TCP)?Query|NaiveReach)' < bench.out > BENCH_build.json
+	$(GO) run ./tools/benchjson -only '^Benchmark((TCP)?Query|NaiveReach)' < bench.out > BENCH_query.json
 	@rm -f bench.out
-	@echo "wrote BENCH_build.json"
+	@echo "wrote BENCH_build.json and BENCH_query.json"

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesTCPEndToEnd builds the real dsr-shard and dsr-query
+// binaries, boots a 3-shard deployment on localhost, and runs a query
+// session through the CLI — the full launchable system, not just the
+// in-process transports. Shards listen on port 0 and the test parses
+// the bound address from their logs, so no port is assumed free.
+func TestBinariesTCPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./...")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	graphPath, err := filepath.Abs(filepath.Join("..", "..", "internal", "graph", "testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 3
+	addrRe := regexp.MustCompile(`serving on (\S+)`)
+	var addrs []string
+	for i := 0; i < k; i++ {
+		cmd := exec.Command(filepath.Join(bin, "dsr-shard"),
+			"-graph", graphPath, "-shards", fmt.Sprint(k), "-id", fmt.Sprint(i),
+			"-listen", "127.0.0.1:0")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		proc := cmd.Process
+		t.Cleanup(func() { proc.Kill(); cmd.Wait() })
+
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+					addrCh <- m[1]
+				}
+			}
+		}()
+		select {
+		case addr := <-addrCh:
+			addrs = append(addrs, addr)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("shard %d never reported its address", i)
+		}
+	}
+
+	queries := strings.Join([]string{
+		"0 | 7",     // across the bridge
+		"7 | 0",     // against the bridge
+		"4 | 4",     // reflexive
+		"# comment", // ignored
+		"0 1 | 100", // out-of-range target
+	}, "\n")
+	want := "true\nfalse\ntrue\nfalse\n"
+
+	for _, batch := range []bool{false, true} {
+		args := []string{"-graph", graphPath, "-shards", strings.Join(addrs, ",")}
+		if batch {
+			args = append(args, "-batch")
+		}
+		cmd := exec.Command(filepath.Join(bin, "dsr-query"), args...)
+		cmd.Stdin = strings.NewReader(queries)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(stdout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("dsr-query (batch=%v): %v", batch, err)
+		}
+		if string(out) != want {
+			t.Errorf("dsr-query (batch=%v) output:\n%swant:\n%s", batch, out, want)
+		}
+	}
+}

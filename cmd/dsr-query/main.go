@@ -1,0 +1,137 @@
+// Command dsr-query is the DSR coordinator CLI: it loads the graph,
+// connects to a fleet of dsr-shard servers (or runs everything
+// in-process when -shards is empty), and answers set-reachability
+// queries read from stdin.
+//
+// Query format, one per line:
+//
+//	1 2 3 | 9 10
+//
+// sources left of '|', targets right, whitespace-separated; the answer
+// (true/false) is printed per line. With -batch all queries are read
+// first and shipped as one QueryBatch — one round-trip per shard for
+// the entire workload.
+//
+//	dsr-query -graph edges.txt -shards 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -batch
+//	dsr-query -graph edges.txt -k 4            # in-process, no servers needed
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsr/internal/core"
+	"dsr/internal/graph"
+)
+
+func main() {
+	log.SetPrefix("dsr-query: ")
+	log.SetFlags(0)
+	var (
+		graphPath = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
+		shards    = flag.String("shards", "", "comma-separated shard addresses (shard i at position i); empty runs in-process")
+		k         = flag.Int("k", 4, "partition count for in-process mode (ignored with -shards)")
+		batch     = flag.Bool("batch", false, "read all queries first and answer them as one batch")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "dsr-query: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := graph.LoadEdgeListFile(*graphPath)
+	if err != nil {
+		log.Fatalf("load graph: %v", err)
+	}
+	var eng *core.Engine
+	if *shards != "" {
+		addrs := strings.Split(*shards, ",")
+		eng, err = core.NewDistributed(g, addrs...)
+		if err != nil {
+			log.Fatalf("connect shards: %v", err)
+		}
+		log.Printf("connected to %d shards, %d boundary vertices", eng.NumPartitions(), eng.NumBoundary())
+	} else {
+		eng, err = core.New(g, *k)
+		if err != nil {
+			log.Fatalf("build engine: %v", err)
+		}
+		log.Printf("in-process engine: %d partitions, %d boundary vertices", eng.NumPartitions(), eng.NumBoundary())
+	}
+	defer eng.Close()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	var queries []core.Query
+	lineno := 0
+	for in.Scan() {
+		lineno++
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := parseQuery(line)
+		if err != nil {
+			log.Fatalf("line %d: %v", lineno, err)
+		}
+		if *batch {
+			queries = append(queries, q)
+			continue
+		}
+		ans, err := eng.QueryBatchErr([]core.Query{q})
+		if err != nil {
+			log.Fatalf("query failed: %v", err)
+		}
+		fmt.Fprintln(out, ans[0])
+	}
+	if err := in.Err(); err != nil {
+		log.Fatalf("read stdin: %v", err)
+	}
+	if *batch && len(queries) > 0 {
+		answers, err := eng.QueryBatchErr(queries)
+		if err != nil {
+			log.Fatalf("batch failed: %v", err)
+		}
+		for _, a := range answers {
+			fmt.Fprintln(out, a)
+		}
+	}
+}
+
+// parseQuery parses "s1 s2 ... | t1 t2 ..." into a Query.
+func parseQuery(line string) (core.Query, error) {
+	var q core.Query
+	left, right, found := strings.Cut(line, "|")
+	if !found {
+		return q, fmt.Errorf("want 'sources | targets', got %q", line)
+	}
+	var err error
+	if q.S, err = parseIDs(left); err != nil {
+		return q, fmt.Errorf("sources: %v", err)
+	}
+	if q.T, err = parseIDs(right); err != nil {
+		return q, fmt.Errorf("targets: %v", err)
+	}
+	return q, nil
+}
+
+func parseIDs(s string) ([]graph.VertexID, error) {
+	var ids []graph.VertexID
+	for _, f := range strings.Fields(s) {
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad vertex %q: %v", f, err)
+		}
+		ids = append(ids, graph.VertexID(v))
+	}
+	return ids, nil
+}

@@ -1,0 +1,71 @@
+// Command dsr-shard runs one DSR shard server: it loads the graph,
+// hash-partitions it into the deployment's shard count, extracts and
+// indexes its own partition, and serves local-search RPCs over TCP.
+//
+//	dsr-shard -graph edges.txt -shards 3 -id 0 -listen 127.0.0.1:7000
+//
+// Every shard of a deployment (and the coordinator, see dsr-query or
+// core.NewDistributed) must load the same graph file with the same
+// -shards count: the hash partitioner is deterministic, so all
+// processes agree on vertex placement and local IDs without any
+// coordination traffic. The connect-time handshake rejects clients
+// whose shard count or vertex count disagrees.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"dsr/internal/graph"
+	"dsr/internal/partition"
+	"dsr/internal/shard"
+)
+
+func main() {
+	log.SetPrefix("dsr-shard: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	var (
+		graphPath = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
+		numShards = flag.Int("shards", 1, "total shard count of the deployment")
+		shardID   = flag.Int("id", 0, "this shard's index in [0, shards)")
+		listen    = flag.String("listen", "127.0.0.1:7000", "TCP address to serve on")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "dsr-shard: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shardID < 0 || *shardID >= *numShards {
+		log.Fatalf("-id %d outside [0, %d)", *shardID, *numShards)
+	}
+
+	g, err := graph.LoadEdgeListFile(*graphPath)
+	if err != nil {
+		log.Fatalf("load graph: %v", err)
+	}
+	pt, err := graph.HashPartition(g, *numShards)
+	if err != nil {
+		log.Fatalf("partition: %v", err)
+	}
+	// ExtractOne materializes only this shard's partition: startup memory
+	// scales with the shard's share of the graph, not all k partitions.
+	sub := partition.ExtractOne(g, pt, *shardID)
+	sh := shard.New(*shardID, sub)
+	log.Printf("shard %d/%d: %d of %d vertices, %d entries, %d exits",
+		*shardID, *numShards, sh.NumVertices(), g.NumVertices(),
+		len(sub.Entries), len(sub.Exits))
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving on %s", ln.Addr())
+	srv := shard.NewServer(sh, *numShards, g.NumVertices(), g.Fingerprint())
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,11 +1,19 @@
 // Package core is the public façade over the DSR engine: build a graph
 // (or load one from an edge list), pick a partition count, and ask
-// set-reachability questions.
+// set-reachability questions — in one process or against a fleet of
+// shard servers.
 //
 //	g := ...                       // *graph.Graph
-//	eng, err := core.New(g, 4)     // 4 partitions, hash-partitioned
+//	eng, err := core.New(g, 4)     // 4 partitions, in-process
 //	defer eng.Close()
 //	ok := eng.Query([]graph.VertexID{0, 1}, []graph.VertexID{9})
+//
+// Distributed, against running dsr-shard servers (shard i at addrs[i],
+// all built from the same graph):
+//
+//	eng, err := core.NewDistributed(g, "host1:7000", "host2:7000", "host3:7000")
+//	defer eng.Close()
+//	answers, err := eng.QueryBatchErr([]core.Query{{S: s0, T: t0}, {S: s1, T: t1}})
 package core
 
 import (
@@ -13,13 +21,16 @@ import (
 	"dsr/internal/graph"
 )
 
+// Query pairs one source set with one target set for QueryBatch.
+type Query = dsr.Query
+
 // Engine answers set-reachability queries over a partitioned graph.
 type Engine struct {
 	inner *dsr.Engine
 }
 
 // New builds an engine over g split into k hash-partitioned parts and
-// starts its per-partition workers.
+// starts its per-partition in-process shards.
 func New(g *graph.Graph, k int) (*Engine, error) {
 	inner, err := dsr.New(g, k)
 	if err != nil {
@@ -38,9 +49,32 @@ func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error
 	return &Engine{inner: inner}, nil
 }
 
+// NewDistributed builds a coordinator over g hash-partitioned into
+// len(addrs) parts, with partition i served by the dsr-shard server at
+// addrs[i]. Every shard must have been started from the same graph (and
+// the same shard count); the handshake rejects mismatched deployments.
+func NewDistributed(g *graph.Graph, addrs ...string) (*Engine, error) {
+	inner, err := dsr.NewDistributed(g, addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
 // Query reports whether any source in S reaches any target in T. It
-// panics if the engine has been closed.
+// panics if the engine has been closed or a shard transport fails.
 func (e *Engine) Query(S, T []graph.VertexID) bool { return e.inner.Query(S, T) }
+
+// QueryBatch answers a batch of queries in one shard round-trip each
+// way, amortizing transport overhead; answers are positional. It panics
+// on closed engines and transport failures.
+func (e *Engine) QueryBatch(queries []Query) []bool { return e.inner.QueryBatch(queries) }
+
+// QueryBatchErr is QueryBatch with transport failures returned as an
+// error — the form to use against remote shards.
+func (e *Engine) QueryBatchErr(queries []Query) ([]bool, error) {
+	return e.inner.QueryBatchErr(queries)
+}
 
 // NumPartitions returns the partition count.
 func (e *Engine) NumPartitions() int { return e.inner.NumPartitions() }
@@ -48,5 +82,7 @@ func (e *Engine) NumPartitions() int { return e.inner.NumPartitions() }
 // NumBoundary returns the size of the compressed boundary graph.
 func (e *Engine) NumBoundary() int { return e.inner.NumBoundary() }
 
-// Close stops the engine's worker goroutines.
+// Close shuts the engine down deterministically: in-process shard
+// goroutines have exited and remote connections are closed when it
+// returns.
 func (e *Engine) Close() { e.inner.Close() }

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"net"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"dsr/internal/graph"
+	"dsr/internal/partition"
+	"dsr/internal/shard"
 )
 
 func TestFacadeEndToEnd(t *testing.T) {
@@ -57,5 +61,72 @@ func TestFacadeRejectsBadK(t *testing.T) {
 	g := graph.NewBuilder(2).Build()
 	if _, err := New(g, 0); err == nil {
 		t.Fatal("want error for k=0")
+	}
+}
+
+// TestFacadeDistributedTCP drives the distributed entry point: three
+// shard servers on localhost, a NewDistributed coordinator, and both
+// query paths.
+func TestFacadeDistributedTCP(t *testing.T) {
+	g, err := graph.LoadEdgeListFile(filepath.Join("..", "graph", "testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	pt, err := graph.HashPartition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, _ := partition.Extract(g, pt)
+	var addrs []string
+	var wg sync.WaitGroup
+	var servers []*shard.Server
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, ln.Addr().String())
+		srv := shard.NewServer(shard.New(i, subs[i]), k, g.NumVertices(), g.Fingerprint())
+		servers = append(servers, srv)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Serve(ln); err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		}()
+	}
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		wg.Wait()
+	}()
+
+	e, err := NewDistributed(g, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if !e.Query([]graph.VertexID{0}, []graph.VertexID{7}) {
+		t.Error("0 should reach 7 across the bridge")
+	}
+	if e.Query([]graph.VertexID{7}, []graph.VertexID{0}) {
+		t.Error("7 must not reach 0 against the bridge")
+	}
+	answers, err := e.QueryBatchErr([]Query{
+		{S: []graph.VertexID{0}, T: []graph.VertexID{7}},
+		{S: []graph.VertexID{7}, T: []graph.VertexID{0}},
+		{S: []graph.VertexID{4}, T: []graph.VertexID{4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if answers[i] != want[i] {
+			t.Errorf("batch query %d = %v, want %v", i, answers[i], want[i])
+		}
 	}
 }

@@ -1,0 +1,171 @@
+package dsr
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"dsr/internal/graph"
+)
+
+// TestQueryBatchDifferential compares QueryBatch against both the
+// oracle and per-query Query on randomized graphs: a batch must answer
+// exactly what the one-at-a-time path answers.
+func TestQueryBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	const graphs = 60
+	for gi := 0; gi < graphs; gi++ {
+		n := 1 + rng.Intn(60)
+		deg := []float64{0.5, 1, 2, 4}[rng.Intn(4)]
+		g := randomGraph(rng, n, deg)
+		k := 2 + rng.Intn(4)
+		e, err := New(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		B := 1 + rng.Intn(20)
+		queries := make([]Query, B)
+		for i := range queries {
+			queries[i] = Query{S: randomSet(rng, n, 5), T: randomSet(rng, n, 5)}
+		}
+		got := e.QueryBatch(queries)
+		if len(got) != B {
+			t.Fatalf("graph %d: got %d answers for %d queries", gi, len(got), B)
+		}
+		for i, q := range queries {
+			want := NaiveReach(g, q.S, q.T)
+			if got[i] != want {
+				t.Fatalf("graph %d (n=%d, k=%d) query %d: batch = %v, oracle = %v (S=%v T=%v)",
+					gi, n, k, i, got[i], want, q.S, q.T)
+			}
+			if single := e.Query(q.S, q.T); single != want {
+				t.Fatalf("graph %d query %d: single = %v, oracle = %v", gi, i, single, want)
+			}
+		}
+		e.Close()
+	}
+}
+
+// TestQueryBatchReuse runs many batches of varying size through one
+// engine to exercise scratch reuse across rounds.
+func TestQueryBatchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 200, 2)
+	e, err := New(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for round := 0; round < 50; round++ {
+		B := 1 + rng.Intn(32)
+		queries := make([]Query, B)
+		for i := range queries {
+			queries[i] = Query{S: randomSet(rng, 200, 6), T: randomSet(rng, 200, 6)}
+		}
+		got := e.QueryBatch(queries)
+		for i, q := range queries {
+			if want := NaiveReach(g, q.S, q.T); got[i] != want {
+				t.Fatalf("round %d query %d: got %v, want %v", round, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestQueryBatchEmpty(t *testing.T) {
+	g := build(2, [][2]graph.VertexID{{0, 1}})
+	e, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if out := e.QueryBatch(nil); out != nil {
+		t.Fatalf("QueryBatch(nil) = %v, want nil", out)
+	}
+	out := e.QueryBatch([]Query{{}, {S: []graph.VertexID{0}}, {T: []graph.VertexID{1}}})
+	for i, ans := range out {
+		if ans {
+			t.Errorf("degenerate query %d answered true", i)
+		}
+	}
+}
+
+// TestQueryZeroAlloc locks the acceptance criterion that the in-process
+// Loopback query path stays allocation-free in steady state.
+func TestQueryZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 2000, 3)
+	e, err := New(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	S := randomSet(rng, 2000, 8)
+	T := randomSet(rng, 2000, 8)
+	for i := 0; i < 10; i++ { // warm scratch capacities
+		e.Query(S, T)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { e.Query(S, T) }); allocs != 0 {
+		t.Errorf("Query allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+// TestCloseStopsGoroutines asserts deterministic lifecycle: every
+// goroutine the engine started (loopback shard servers) is gone once
+// Close returns.
+func TestCloseStopsGoroutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 500, 2)
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 5; iter++ {
+		e, err := New(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Query(randomSet(rng, 500, 4), randomSet(rng, 500, 4))
+		e.Close()
+	}
+	// The build pool's goroutines also exit before New returns, but give
+	// the scheduler a moment to retire stacks before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after Close", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// BenchmarkQueryBatch measures the batched path over Loopback with
+// 64-query batches on the same workload as BenchmarkQuery; b.N counts
+// individual queries so ns/op is comparable across the two.
+func BenchmarkQueryBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 10000
+	g := randomGraph(rng, n, 4)
+	e, err := New(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	const B = 64
+	const nq = 256
+	batches := make([][]Query, nq/B)
+	for bi := range batches {
+		batches[bi] = make([]Query, B)
+		for i := range batches[bi] {
+			batches[bi][i] = Query{S: randomSet(rng, n, 8), T: randomSet(rng, n, 8)}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += B {
+		e.QueryBatch(batches[(i/B)%len(batches)])
+	}
+}

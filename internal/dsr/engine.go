@@ -6,7 +6,7 @@
 //  1. at build time each partition is compressed into boundary-to-boundary
 //     summary edges, which are stitched with the raw cross-partition edges
 //     into a global boundary graph;
-//  2. at query time, per-partition workers run local searches (forward
+//  2. at query time, per-partition shards run local searches (forward
 //     from S, backward from T) in parallel, and the coordinator finishes
 //     with a single search over the small boundary graph.
 //
@@ -15,6 +15,13 @@
 // edge. The forward local search finds x0, summary edges cover every
 // ei ~> xi hop, cross edges cover xi -> e(i+1), and the backward local
 // search marks ek; so the boundary search is exact, not approximate.
+//
+// The coordinator talks to shards only through shard.Transport: with
+// shard.Loopback everything runs in-process (goroutine workers, the
+// original engine, still allocation-free per query); with shard.Client
+// each partition lives in its own shard server process reached over
+// TCP, and the same QueryBatch path amortizes one round-trip per shard
+// across an entire batch of queries.
 package dsr
 
 import (
@@ -22,10 +29,12 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"dsr/internal/graph"
 	"dsr/internal/partition"
-	"dsr/internal/scc"
+	"dsr/internal/shard"
+	"dsr/internal/wire"
 )
 
 // boundaryGraph is the compressed global view: vertices are the boundary
@@ -36,24 +45,58 @@ type boundaryGraph struct {
 	adj   [][]int32
 }
 
+// parallelParts runs fn(p) for every partition p in [0, k) on a bounded
+// pool and waits for all of them.
+func parallelParts(k int, fn func(p int)) {
+	workers := min(runtime.GOMAXPROCS(0), k)
+	if workers <= 1 {
+		for p := 0; p < k; p++ {
+			fn(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= k {
+					return
+				}
+				fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildBoundaryGraph compresses every partition and stitches the global
+// boundary graph. All heavy phases are parallel over partitions, which
+// is safe because every stitched edge is keyed by its *source* vertex
+// and every vertex is owned by exactly one partition: two goroutines
+// never touch the same adjacency row, degree counter, or cursor.
 func buildBoundaryGraph(g *graph.Graph, pt *graph.Partitioning, subs []*partition.Subgraph) *boundaryGraph {
 	bg := &boundaryGraph{dense: make([]int32, g.NumVertices())}
+	nb := int32(0)
 	for v := 0; v < g.NumVertices(); v++ {
 		if pt.IsBoundary(graph.VertexID(v)) {
-			bg.dense[v] = int32(len(bg.adj))
-			bg.adj = append(bg.adj, nil)
+			bg.dense[v] = nb
+			nb++
 		} else {
 			bg.dense[v] = -1
 		}
 	}
-	add := func(u, v graph.VertexID) {
-		du := bg.dense[u]
-		bg.adj[du] = append(bg.adj[du], bg.dense[v])
-	}
-	// Each partition's summary is independent: compress them with a
-	// bounded pool, then stitch single-threaded. Every pool goroutine
-	// owns one Scratch sized for the largest partition and reuses it
-	// (BFS marks, scc workspace) across every partition it compresses.
+	bg.adj = make([][]int32, nb)
+
+	// Phase 1: per-partition summaries on a bounded pool. Every pool
+	// goroutine owns one Scratch sized for the largest partition and
+	// reuses it (BFS marks, scc workspace) across every partition it
+	// compresses. The cross-partition edge scan runs on this goroutine
+	// in the meantime; it reads only g and pt, which the pool never
+	// touches.
 	summaries := make([][][2]graph.VertexID, len(subs))
 	maxN := 0
 	for _, s := range subs {
@@ -73,203 +116,146 @@ func buildBoundaryGraph(g *graph.Graph, pt *graph.Partitioning, subs []*partitio
 			}
 		}()
 	}
-	for p := range subs {
-		work <- p
-	}
-	close(work)
-	wg.Wait()
-	for _, pairs := range summaries {
-		for _, pair := range pairs {
-			add(pair[0], pair[1])
+	go func() {
+		for p := range subs {
+			work <- p
 		}
-	}
+		close(work)
+	}()
+	cross := make([][][2]graph.VertexID, pt.K)
 	g.Edges(func(u, v graph.VertexID) {
 		if pt.Part[u] != pt.Part[v] {
-			add(u, v)
+			p := pt.Part[u]
+			cross[p] = append(cross[p], [2]graph.VertexID{u, v})
 		}
 	})
-	// Dedupe adjacency (multi-edges and entry==exit self-pairs add noise).
-	for i, nbrs := range bg.adj {
-		slices.Sort(nbrs)
-		bg.adj[i] = slices.Compact(nbrs)
+	wg.Wait()
+
+	// Phase 2: count per-row degrees in parallel (rows are owned by the
+	// source vertex's partition, so no two goroutines share a counter).
+	deg := make([]int32, nb)
+	countPart := func(p int) {
+		for _, pair := range summaries[p] {
+			deg[bg.dense[pair[0]]]++
+		}
+		for _, pair := range cross[p] {
+			deg[bg.dense[pair[0]]]++
+		}
 	}
+	parallelParts(pt.K, countPart)
+
+	// Phase 3: one flat arena with CSR offsets, instead of growing nb
+	// separate rows through repeated append.
+	off := make([]int64, nb+1)
+	for i := int32(0); i < nb; i++ {
+		off[i+1] = off[i] + int64(deg[i])
+	}
+	arena := make([]int32, off[nb])
+
+	// Phase 4: fill rows in parallel, reusing deg as the per-row cursor.
+	clear(deg)
+	fillPart := func(p int) {
+		for _, pair := range summaries[p] {
+			d := bg.dense[pair[0]]
+			arena[off[d]+int64(deg[d])] = bg.dense[pair[1]]
+			deg[d]++
+		}
+		for _, pair := range cross[p] {
+			d := bg.dense[pair[0]]
+			arena[off[d]+int64(deg[d])] = bg.dense[pair[1]]
+			deg[d]++
+		}
+	}
+	parallelParts(pt.K, fillPart)
+
+	// Phase 5: sort + dedupe every row in parallel (multi-edges and
+	// entry==exit self-pairs add noise). Each goroutine walks its own
+	// partition's vertices, so row ownership again prevents contention.
+	dedupePart := func(p int) {
+		s := subs[p]
+		for lv := int32(0); lv < int32(s.NumVertices()); lv++ {
+			d := bg.dense[s.GlobalID(lv)]
+			if d < 0 {
+				continue
+			}
+			row := arena[off[d]:off[d+1]]
+			slices.Sort(row)
+			bg.adj[d] = slices.Compact(row)
+		}
+	}
+	parallelParts(pt.K, dedupePart)
 	return bg
 }
 
-// taskKind selects the local search a worker runs.
-type taskKind uint8
-
-const (
-	taskForward  taskKind = iota // BFS from S∩p; report local hits and reached exits
-	taskBackward                 // reverse BFS from T∩p; report entries that reach T
-)
-
-type task struct {
-	kind    taskKind
-	seeds   []int32 // local IDs
-	targets []int32 // local IDs of T∩p, only for taskForward
-	reply   chan<- result
+// Query pairs one source set with one target set for QueryBatch.
+type Query struct {
+	S, T []graph.VertexID
 }
 
-type result struct {
-	kind     taskKind
-	hit      bool             // a target was reached without leaving the partition
-	boundary []graph.VertexID // reached exits (forward) or reaching entries (backward)
-}
-
-// worker owns one partition's subgraph and scratch space, and serves
-// local-search tasks from its channel. This is the seam a later PR turns
-// into an RPC shard: the coordinator only ever exchanges seed sets and
-// boundary-vertex sets with it.
-//
-// Local searches run over the partition's SCC condensation, not its
-// vertices: a BFS visits each component once, so a partition that is one
-// big cycle costs O(1) queue work instead of O(V). Vertex-level answers
-// (local hits, reached boundary vertices) are read back through the
-// component member lists, which enumerate exactly the reachable
-// vertices.
-//
-// All scratch (component marks, queue, result buffers) is owned by the
-// worker and reused across tasks with the epoch trick, so steady-state
-// queries allocate nothing here. Reuse is safe because the coordinator
-// fully drains every query's replies before the next query can send.
-type worker struct {
-	sub     *partition.Subgraph
-	cond    *scc.Condensation
-	isEntry []bool
-	isExit  []bool
-	cvisit  *partition.Marks // component-level BFS visited marks
-	cqueue  []int32          // component-level BFS queue
-	fbuf    []graph.VertexID // result buffer for forward tasks
-	bbuf    []graph.VertexID // result buffer for backward tasks
-	tasks   chan task
-}
-
-func newWorker(sub *partition.Subgraph) *worker {
-	cond := sub.Condensation(nil) // cached from the summary build
-	w := &worker{
-		sub:     sub,
-		cond:    cond,
-		isEntry: make([]bool, sub.NumVertices()),
-		isExit:  make([]bool, sub.NumVertices()),
-		cvisit:  partition.NewMarks(cond.N),
-		tasks:   make(chan task, 2), // at most one forward + one backward per query
-	}
-	for _, e := range sub.Entries {
-		w.isEntry[e] = true
-	}
-	for _, x := range sub.Exits {
-		w.isExit[x] = true
-	}
-	return w
-}
-
-// bfs runs a component-level BFS from the components of the given local
-// seed vertices, forward or backward over the condensation DAG, and
-// returns the visited components. The returned slice aliases w.cqueue
-// and the visit marks stay valid until the next call.
-func (w *worker) bfs(seeds []int32, forward bool) []int32 {
-	w.cvisit.Reset()
-	q := w.cqueue[:0]
-	for _, v := range seeds {
-		if c := w.cond.Comp[v]; w.cvisit.Mark(c) {
-			q = append(q, c)
-		}
-	}
-	for head := 0; head < len(q); head++ {
-		var nbrs []int32
-		if forward {
-			nbrs = w.cond.Out(q[head])
-		} else {
-			nbrs = w.cond.In(q[head])
-		}
-		for _, d := range nbrs {
-			if w.cvisit.Mark(d) {
-				q = append(q, d)
-			}
-		}
-	}
-	w.cqueue = q
-	return q
-}
-
-func (w *worker) run() {
-	for t := range w.tasks {
-		res := result{kind: t.kind}
-		switch t.kind {
-		case taskForward:
-			comps := w.bfs(t.seeds, true)
-			for _, v := range t.targets {
-				if w.cvisit.Seen(w.cond.Comp[v]) {
-					res.hit = true
-					break
-				}
-			}
-			buf := w.fbuf[:0]
-			for _, c := range comps {
-				for _, v := range w.cond.Members(c) {
-					if w.isExit[v] {
-						buf = append(buf, w.sub.GlobalID(v))
-					}
-				}
-			}
-			w.fbuf, res.boundary = buf, buf
-		case taskBackward:
-			comps := w.bfs(t.seeds, false)
-			buf := w.bbuf[:0]
-			for _, c := range comps {
-				for _, v := range w.cond.Members(c) {
-					if w.isEntry[v] {
-						buf = append(buf, w.sub.GlobalID(v))
-					}
-				}
-			}
-			w.bbuf, res.boundary = buf, buf
-		}
-		t.reply <- res
-	}
+// qstate is the coordinator's per-query bookkeeping within one batch.
+type qstate struct {
+	seeds []int32 // dense boundary ids reached by forward local searches
+	goals []int32 // dense boundary ids that reach a target locally
+	hit   bool    // some partition saw a local S ~> T path
+	done  bool    // answered during assembly (trivial/overlap cases)
+	ans   bool
 }
 
 // Engine answers set-reachability queries over a partitioned graph. It
 // does not retain the input *graph.Graph: after construction every edge
-// lives in the per-partition subgraphs and the boundary graph, so the
+// lives in the per-partition shards and the boundary graph, so the
 // original CSR can be garbage-collected.
+//
+// The engine owns the partitioning, the boundary graph, and a
+// shard.Transport; it never touches partition interiors itself. With
+// the default Loopback transport the shards are in-process goroutines;
+// with a TCP transport (NewDistributed) they are remote processes and
+// the engine is the coordinator of a genuinely distributed system.
 type Engine struct {
-	n       int // vertex count of the source graph
-	pt      *graph.Partitioning
-	local   []int32
-	bg      *boundaryGraph
-	workers []*worker
+	n     int // vertex count of the source graph
+	pt    *graph.Partitioning
+	local []int32
+	bg    *boundaryGraph
+	tr    shard.Transport
 
-	mu     sync.Mutex // serializes queries: workers hold per-partition scratch
+	mu     sync.Mutex // serializes query rounds: shards hold per-partition scratch
 	closed bool
 
-	// Reusable per-query scratch, safe under mu. Epoch-marked arrays make
+	// Reusable per-round scratch, safe under mu. Epoch-marked arrays make
 	// reuse O(1): a vertex is marked iff its entry equals the current
-	// epoch. Queries fully drain the reply channel, so all of this —
-	// including the seed buffers workers read from — is quiescent between
-	// queries.
-	reply    chan result
-	tmark    *partition.Marks // global T-membership marks
-	smark    *partition.Marks // global S-dedup marks
-	fwdBuf   [][]int32        // per-partition S seeds (local IDs)
-	bwdBuf   [][]int32        // per-partition T seeds (local IDs)
-	fwdParts []int32          // partitions touched by S this query
-	bwdParts []int32          // partitions touched by T this query
-	sbuf     []int32          // boundary-BFS seed buffer
-	bvisit   *partition.Marks // boundary-BFS visited marks
-	bgoal    *partition.Marks // boundary-BFS goal marks
-	bqueue   []int32          // boundary-BFS queue
+	// epoch. A round fully drains the reply channel, so all of this —
+	// including the seed arenas shards read from — is quiescent between
+	// rounds.
+	replyc chan shard.Reply
+	tmark  *partition.Marks // global T-membership marks (per query)
+	smark  *partition.Marks // global S-dedup marks (per query)
+
+	arena  [][]int32     // per-shard seed storage for the whole round
+	tasks  [][]wire.Task // per-shard task batches for the round
+	tQ, sQ []int32       // per shard: batch-query index that last touched it
+	tOff   []int         // per shard: arena offset of the current query's T seeds
+	sOff   []int         // per shard: arena offset of the current query's S seeds
+	tSl    [][]int32     // per shard: current query's T∩p local-seed slice
+	tparts []int32       // shards touched by the current query's T
+	sparts []int32       // shards touched by the current query's S
+
+	qs     []qstate
+	single [1]Query // reusable batch for Query
+
+	bvisit *partition.Marks // boundary-BFS visited marks
+	bgoal  *partition.Marks // boundary-BFS goal marks
+	bqueue []int32          // boundary-BFS queue
 }
 
 // New builds an engine over g split into k partitions with the default
-// deterministic hash partitioner.
+// deterministic hash partitioner, running on an in-process Loopback
+// transport (one goroutine shard per partition).
 func New(g *graph.Graph, k int) (*Engine, error) {
 	pt, err := graph.HashPartition(g, k)
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(g, pt), nil
+	return newLoopbackEngine(g, pt), nil
 }
 
 // NewWithPartitioning builds an engine over a pre-partitioned graph.
@@ -285,32 +271,69 @@ func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(g, pt), nil
+	return newLoopbackEngine(g, pt), nil
 }
 
-// newEngine trusts pt (labels in range, boundary marks consistent with
-// the edges): extracts per-partition subgraphs, compresses them into the
-// boundary graph, and starts one worker goroutine per partition.
-func newEngine(g *graph.Graph, pt *graph.Partitioning) *Engine {
+// NewDistributed builds a coordinator over g hash-partitioned into
+// len(addrs) parts, where partition i is served by the shard server at
+// addrs[i]. The coordinator builds the boundary graph locally (it has
+// the full graph anyway) and verifies during the handshake that every
+// shard was built for the same shard count and vertex count; the
+// deterministic hash partitioner guarantees both sides agree on vertex
+// placement and local IDs when they load the same graph.
+func NewDistributed(g *graph.Graph, addrs []string) (*Engine, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dsr: no shard addresses")
+	}
+	pt, err := graph.HashPartition(g, len(addrs))
+	if err != nil {
+		return nil, err
+	}
 	subs, local := partition.Extract(g, pt)
+	bg := buildBoundaryGraph(g, pt, subs)
+	cl, err := shard.Dial(addrs, g.NumVertices(), g.Fingerprint())
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(g.NumVertices(), pt, local, bg, cl), nil
+}
+
+// newLoopbackEngine trusts pt (labels in range, boundary marks
+// consistent with the edges): extracts per-partition subgraphs,
+// compresses them into the boundary graph, and starts one in-process
+// shard per partition.
+func newLoopbackEngine(g *graph.Graph, pt *graph.Partitioning) *Engine {
+	subs, local := partition.Extract(g, pt)
+	bg := buildBoundaryGraph(g, pt, subs)
+	shards := make([]*shard.Shard, len(subs))
+	for i, s := range subs {
+		shards[i] = shard.New(i, s)
+	}
+	return newEngine(g.NumVertices(), pt, local, bg, shard.NewLoopback(shards))
+}
+
+// newEngine wires a coordinator over an already-built boundary graph
+// and transport.
+func newEngine(n int, pt *graph.Partitioning, local []int32, bg *boundaryGraph, tr shard.Transport) *Engine {
 	e := &Engine{
-		n:      g.NumVertices(),
+		n:      n,
 		pt:     pt,
 		local:  local,
-		bg:     buildBoundaryGraph(g, pt, subs),
-		reply:  make(chan result, 2*pt.K),
-		tmark:  partition.NewMarks(g.NumVertices()),
-		smark:  partition.NewMarks(g.NumVertices()),
-		fwdBuf: make([][]int32, pt.K),
-		bwdBuf: make([][]int32, pt.K),
+		bg:     bg,
+		tr:     tr,
+		replyc: make(chan shard.Reply, pt.K),
+		tmark:  partition.NewMarks(n),
+		smark:  partition.NewMarks(n),
+		arena:  make([][]int32, pt.K),
+		tasks:  make([][]wire.Task, pt.K),
+		tQ:     make([]int32, pt.K),
+		sQ:     make([]int32, pt.K),
+		tOff:   make([]int, pt.K),
+		sOff:   make([]int, pt.K),
+		tSl:    make([][]int32, pt.K),
 	}
 	e.bvisit = partition.NewMarks(len(e.bg.adj))
 	e.bgoal = partition.NewMarks(len(e.bg.adj))
-	for _, s := range subs {
-		w := newWorker(s)
-		e.workers = append(e.workers, w)
-		go w.run()
-	}
 	return e
 }
 
@@ -320,8 +343,10 @@ func (e *Engine) NumPartitions() int { return e.pt.K }
 // NumBoundary returns the number of vertices in the boundary graph.
 func (e *Engine) NumBoundary() int { return len(e.bg.adj) }
 
-// Close shuts down the worker goroutines. The engine must not be queried
-// after Close.
+// Close shuts the transport down deterministically: in-process shard
+// goroutines have exited (and TCP connections are closed with their
+// reader goroutines joined) by the time it returns. The engine must not
+// be queried after Close.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -329,122 +354,246 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	for _, w := range e.workers {
-		close(w.tasks)
-	}
-}
-
-// resetSeedBufs truncates the per-partition seed buffers for the next
-// query. Only safe once no worker task can still be reading them.
-func (e *Engine) resetSeedBufs() {
-	for p := range e.fwdBuf {
-		e.fwdBuf[p] = e.fwdBuf[p][:0]
-		e.bwdBuf[p] = e.bwdBuf[p][:0]
-	}
+	e.tr.Close()
 }
 
 // Query reports whether any source in S reaches any target in T
 // (reachability is reflexive: a vertex reaches itself). Vertices outside
 // the graph are ignored; an empty side yields false. Query panics if the
 // engine has been closed — a silent false would be indistinguishable
-// from a genuine negative answer.
+// from a genuine negative answer — and on a transport failure (only
+// possible on distributed engines; use QueryBatchErr for recoverable
+// error handling there).
 func (e *Engine) Query(S, T []graph.VertexID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.single[0] = Query{S: S, T: T}
+	err := e.queryBatch(e.single[:])
+	e.single[0] = Query{}
+	if err != nil {
+		panic(fmt.Sprintf("dsr: transport failure: %v", err))
+	}
+	return e.qs[0].ans
+}
+
+// QueryBatch answers many queries in one shard round-trip each way: all
+// local searches for the whole batch ship to each shard as a single
+// task batch, and every boundary fan-in is answered before replying.
+// Batching amortizes per-round transport overhead (one RPC per shard
+// instead of one per query per shard) and is the intended way to drive
+// distributed engines. It panics on closed engines and transport
+// failures, like Query; QueryBatchErr returns the error instead.
+func (e *Engine) QueryBatch(queries []Query) []bool {
+	out, err := e.QueryBatchErr(queries)
+	if err != nil {
+		panic(fmt.Sprintf("dsr: transport failure: %v", err))
+	}
+	return out
+}
+
+// QueryBatchErr is QueryBatch with transport failures reported as an
+// error instead of a panic. On error the answers are invalid.
+func (e *Engine) QueryBatchErr(queries []Query) ([]bool, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.queryBatch(queries); err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(queries))
+	for i := range out {
+		out[i] = e.qs[i].ans
+	}
+	return out, nil
+}
+
+// queryBatch runs one full coordinator round for the batch, leaving the
+// per-query answers in e.qs[i].ans. Caller holds e.mu.
+func (e *Engine) queryBatch(queries []Query) error {
 	if e.closed {
-		panic("dsr: Query called on closed Engine")
+		panic("dsr: query on closed Engine")
 	}
 	n := graph.VertexID(e.n)
+	for len(e.qs) < len(queries) {
+		e.qs = append(e.qs, qstate{})
+	}
+	for p := 0; p < e.pt.K; p++ {
+		e.arena[p] = e.arena[p][:0]
+		e.tasks[p] = e.tasks[p][:0]
+		e.tQ[p], e.sQ[p] = -1, -1
+	}
 
-	// Fan the query out: group S and T by partition as local seed sets,
-	// using epoch marks for T membership and S dedup and reused
-	// per-partition buffers instead of per-query maps.
-	e.tmark.Reset()
-	e.smark.Reset()
-	e.fwdParts = e.fwdParts[:0]
-	e.bwdParts = e.bwdParts[:0]
-	for _, t := range T {
-		if t >= n || !e.tmark.Mark(int32(t)) {
+	// Assembly: group every query's S and T by partition as local seed
+	// sets, using epoch marks for T membership and S dedup and reused
+	// per-shard arenas instead of per-query maps. Slices handed to tasks
+	// alias the arenas; later appends may grow an arena, but the
+	// abandoned backing array keeps the already-written seeds, so
+	// earlier slices stay valid.
+	for i := range queries {
+		q := &queries[i]
+		st := &e.qs[i]
+		st.seeds, st.goals = st.seeds[:0], st.goals[:0]
+		st.hit, st.done, st.ans = false, false, false
+		e.tmark.Reset()
+		e.smark.Reset()
+		e.tparts = e.tparts[:0]
+		e.sparts = e.sparts[:0]
+		for _, t := range q.T {
+			if t >= n || !e.tmark.Mark(int32(t)) {
+				continue
+			}
+			p := e.pt.Part[t]
+			if e.tQ[p] != int32(i) {
+				e.tQ[p] = int32(i)
+				e.tOff[p] = len(e.arena[p])
+				e.tparts = append(e.tparts, p)
+			}
+			e.arena[p] = append(e.arena[p], e.local[t])
+		}
+		if len(e.tparts) == 0 {
+			st.done = true
 			continue
 		}
-		p := e.pt.Part[t]
-		if len(e.bwdBuf[p]) == 0 {
-			e.bwdParts = append(e.bwdParts, p)
+		// Capture the T slices now: the S scan below appends to the same
+		// arenas.
+		for _, p := range e.tparts {
+			e.tSl[p] = e.arena[p][e.tOff[p]:len(e.arena[p])]
 		}
-		e.bwdBuf[p] = append(e.bwdBuf[p], e.local[t])
-	}
-	if len(e.bwdParts) == 0 {
-		e.resetSeedBufs()
-		return false
-	}
-	for _, s := range S {
-		// smark dedupes S the way tmark dedupes T: duplicate sources
-		// would otherwise inflate the per-partition seed buffers.
-		if s >= n || !e.smark.Mark(int32(s)) {
+		for _, s := range q.S {
+			// smark dedupes S the way tmark dedupes T: duplicate sources
+			// would otherwise inflate the per-partition seed sets.
+			if s >= n || !e.smark.Mark(int32(s)) {
+				continue
+			}
+			if e.tmark.Seen(int32(s)) {
+				st.done, st.ans = true, true
+				break
+			}
+			p := e.pt.Part[s]
+			if e.sQ[p] != int32(i) {
+				e.sQ[p] = int32(i)
+				e.sOff[p] = len(e.arena[p])
+				e.sparts = append(e.sparts, p)
+			}
+			e.arena[p] = append(e.arena[p], e.local[s])
+		}
+		if st.done {
 			continue
 		}
-		if e.tmark.Seen(int32(s)) {
-			e.resetSeedBufs()
-			return true
+		if len(e.sparts) == 0 {
+			st.done = true
+			continue
 		}
-		p := e.pt.Part[s]
-		if len(e.fwdBuf[p]) == 0 {
-			e.fwdParts = append(e.fwdParts, p)
+		for _, p := range e.sparts {
+			var targets []int32
+			if e.tQ[p] == int32(i) {
+				targets = e.tSl[p]
+			}
+			e.tasks[p] = append(e.tasks[p], wire.Task{
+				Kind:    wire.Forward,
+				Query:   uint32(i),
+				Seeds:   e.arena[p][e.sOff[p]:len(e.arena[p])],
+				Targets: targets,
+			})
 		}
-		e.fwdBuf[p] = append(e.fwdBuf[p], e.local[s])
-	}
-	if len(e.fwdParts) == 0 {
-		e.resetSeedBufs()
-		return false
+		for _, p := range e.tparts {
+			e.tasks[p] = append(e.tasks[p], wire.Task{
+				Kind:  wire.Backward,
+				Query: uint32(i),
+				Seeds: e.tSl[p],
+			})
+		}
 	}
 
-	ntasks := len(e.fwdParts) + len(e.bwdParts)
-	for _, p := range e.fwdParts {
-		e.workers[p].tasks <- task{kind: taskForward, seeds: e.fwdBuf[p], targets: e.bwdBuf[p], reply: e.reply}
-	}
-	for _, p := range e.bwdParts {
-		e.workers[p].tasks <- task{kind: taskBackward, seeds: e.bwdBuf[p], reply: e.reply}
+	// Fan out: one Submit per touched shard carries the whole batch.
+	nsub := 0
+	for p := 0; p < e.pt.K; p++ {
+		if len(e.tasks[p]) > 0 {
+			e.tr.Submit(p, e.tasks[p], e.replyc)
+			nsub++
+		}
 	}
 
-	// Fan in: exits reached from S seed the boundary search; entries that
-	// locally reach T are its goals. A purely local hit skips the boundary
-	// phase, but the reply channel is still drained in full: the shared
-	// seed buffers and worker result buffers must be quiescent before the
-	// next query rewrites them.
-	e.bvisit.Reset()
-	e.bgoal.Reset()
-	seeds := e.sbuf[:0]
-	defer func() { e.sbuf = seeds }()
-	hit := false
-	ngoals := 0
-	for i := 0; i < ntasks; i++ {
-		res := <-e.reply
-		if res.hit {
-			hit = true
+	// Fan in: exits reached from S seed each query's boundary search;
+	// entries that locally reach T are its goals. The reply channel is
+	// always drained in full — the shared arenas and shard result
+	// buffers must be quiescent before the next round rewrites them —
+	// and transport errors are collected rather than aborting the drain.
+	var terr error
+	for r := 0; r < nsub; r++ {
+		rep := <-e.replyc
+		if rep.Err != nil {
+			if terr == nil {
+				terr = rep.Err
+			}
+			continue
 		}
-		if hit {
-			continue // keep draining, skip the now-moot bookkeeping
-		}
-		for _, v := range res.boundary {
-			d := e.bg.dense[v]
-			if res.kind == taskForward {
-				seeds = append(seeds, d)
-			} else if e.bgoal.Mark(d) {
-				ngoals++
+		for ri := range rep.Results {
+			res := &rep.Results[ri]
+			// A result that doesn't map back onto this batch or the
+			// boundary graph means the remote shard disagrees about the
+			// graph; fail the round instead of panicking or mis-answering.
+			if int(res.Query) >= len(queries) {
+				terr = fmt.Errorf("dsr: shard %d answered query %d of a %d-query batch", rep.Shard, res.Query, len(queries))
+				continue
+			}
+			st := &e.qs[res.Query]
+			if st.hit {
+				continue // answer already known; skip the moot bookkeeping
+			}
+			if res.Hit {
+				st.hit = true
+				continue
+			}
+			for _, v := range res.Boundary {
+				if v >= uint32(e.n) || e.bg.dense[v] < 0 {
+					terr = fmt.Errorf("dsr: shard %d reported non-boundary vertex %d", rep.Shard, v)
+					break
+				}
+				d := e.bg.dense[v]
+				if res.Kind == wire.Forward {
+					st.seeds = append(st.seeds, d)
+				} else {
+					st.goals = append(st.goals, d)
+				}
 			}
 		}
 	}
-	e.resetSeedBufs()
-	if hit {
-		return true
-	}
-	if len(seeds) == 0 || ngoals == 0 {
-		return false
+	if terr != nil {
+		return terr
 	}
 
-	// Final pass: BFS over the compressed boundary graph. The queue is
-	// saved back on every return path so its capacity survives early
-	// true-returns, not just exhausted searches.
+	// Final pass: one BFS over the compressed boundary graph per
+	// undecided query. Goal/visited marks reset in O(1) per query via
+	// epochs, and the queue's capacity is shared across the whole batch.
+	for i := range queries {
+		st := &e.qs[i]
+		if st.done {
+			continue
+		}
+		if st.hit {
+			st.ans = true
+			continue
+		}
+		if len(st.seeds) == 0 || len(st.goals) == 0 {
+			continue
+		}
+		st.ans = e.boundaryReach(st.seeds, st.goals)
+	}
+	return nil
+}
+
+// boundaryReach runs the boundary-graph BFS from seeds and reports
+// whether it touches any goal. The queue is saved back on every return
+// path so its capacity survives early true-returns.
+func (e *Engine) boundaryReach(seeds, goals []int32) bool {
+	e.bgoal.Reset()
+	for _, d := range goals {
+		e.bgoal.Mark(d)
+	}
+	e.bvisit.Reset()
 	queue := e.bqueue[:0]
 	defer func() { e.bqueue = queue }()
 	for _, v := range seeds {

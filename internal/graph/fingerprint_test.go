@@ -1,0 +1,27 @@
+package graph
+
+import "testing"
+
+func TestFingerprint(t *testing.T) {
+	mk := func(n int, edges ...[2]VertexID) *Graph {
+		b := NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+		return b.Build()
+	}
+	base := mk(4, [2]VertexID{0, 1}, [2]VertexID{1, 2})
+	if base.Fingerprint() != mk(4, [2]VertexID{0, 1}, [2]VertexID{1, 2}).Fingerprint() {
+		t.Error("identical graphs must fingerprint identically")
+	}
+	for name, other := range map[string]*Graph{
+		"extra edge":     mk(4, [2]VertexID{0, 1}, [2]VertexID{1, 2}, [2]VertexID{2, 3}),
+		"different edge": mk(4, [2]VertexID{0, 1}, [2]VertexID{1, 3}),
+		"extra vertex":   mk(5, [2]VertexID{0, 1}, [2]VertexID{1, 2}),
+		"empty":          mk(0),
+	} {
+		if other.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: fingerprint collides with base", name)
+		}
+	}
+}

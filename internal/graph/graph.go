@@ -45,6 +45,36 @@ func (g *Graph) Edges(fn func(u, v VertexID)) {
 	}
 }
 
+// Fingerprint returns a deterministic 64-bit FNV-1a digest of the
+// graph's exact structure: the vertex count and every directed edge in
+// CSR order (multi-edges included). Two processes that load the same
+// edge list get the same fingerprint, so the distributed handshake can
+// refuse a shard whose graph differs even when the vertex count
+// happens to match.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xFF
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(g.NumVertices()))
+	for u := 0; u < g.NumVertices(); u++ {
+		nbrs := g.Out(VertexID(u))
+		mix(uint64(len(nbrs)))
+		for _, v := range nbrs {
+			mix(uint64(v))
+		}
+	}
+	return h
+}
+
 // Builder accumulates edges and produces an immutable Graph.
 type Builder struct {
 	n   int

@@ -1,0 +1,75 @@
+package partition
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dsr/internal/graph"
+)
+
+// TestExtractOneMatchesExtract differentially checks the single-
+// partition extraction (what shard servers use) against the full
+// Extract on randomized graphs: identical vertex sets, adjacency,
+// and boundary lists for every partition.
+func TestExtractOneMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 80; iter++ {
+		n := 1 + rng.Intn(80)
+		b := graph.NewBuilder(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		k := 1 + rng.Intn(5)
+		var pt *graph.Partitioning
+		var err error
+		if rng.Intn(2) == 0 {
+			pt, err = graph.HashPartition(g, k)
+		} else {
+			pt, err = graph.RangePartition(g, k)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs, _ := Extract(g, pt)
+		for p := 0; p < k; p++ {
+			one := ExtractOne(g, pt, p)
+			want := subs[p]
+			if one.NumVertices() != want.NumVertices() {
+				t.Fatalf("iter %d part %d: %d vertices, want %d", iter, p, one.NumVertices(), want.NumVertices())
+			}
+			for lv := int32(0); lv < int32(want.NumVertices()); lv++ {
+				if one.GlobalID(lv) != want.GlobalID(lv) {
+					t.Fatalf("iter %d part %d: GlobalID(%d) = %d, want %d", iter, p, lv, one.GlobalID(lv), want.GlobalID(lv))
+				}
+				if !sameEdgeSet(one.Out(lv), want.Out(lv)) {
+					t.Fatalf("iter %d part %d vertex %d: Out %v, want %v", iter, p, lv, one.Out(lv), want.Out(lv))
+				}
+				if !sameEdgeSet(one.In(lv), want.In(lv)) {
+					t.Fatalf("iter %d part %d vertex %d: In %v, want %v", iter, p, lv, one.In(lv), want.In(lv))
+				}
+			}
+			if !slices.Equal(one.Entries, want.Entries) {
+				t.Fatalf("iter %d part %d: Entries %v, want %v", iter, p, one.Entries, want.Entries)
+			}
+			if !slices.Equal(one.Exits, want.Exits) {
+				t.Fatalf("iter %d part %d: Exits %v, want %v", iter, p, one.Exits, want.Exits)
+			}
+		}
+	}
+}
+
+// sameEdgeSet compares adjacency lists as multisets: Extract orders
+// edges by global edge scan, ExtractOne per source vertex — both list
+// the same neighbors, possibly in different order.
+func sameEdgeSet(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := slices.Clone(a), slices.Clone(b)
+	slices.Sort(as)
+	slices.Sort(bs)
+	return slices.Equal(as, bs)
+}

@@ -95,12 +95,7 @@ func Extract(g *graph.Graph, pt *graph.Partitioning) ([]*Subgraph, []int32) {
 		}
 	})
 	for _, s := range subs {
-		for i := 1; i <= s.NumVertices(); i++ {
-			s.foff[i] += s.foff[i-1]
-			s.roff[i] += s.roff[i-1]
-		}
-		s.fedges = make([]int32, s.foff[s.NumVertices()])
-		s.redges = make([]int32, s.roff[s.NumVertices()])
+		s.finishOffsets()
 	}
 	fcur := make([]int64, n)
 	rcur := make([]int64, n)
@@ -114,18 +109,86 @@ func Extract(g *graph.Graph, pt *graph.Partitioning) ([]*Subgraph, []int32) {
 			rcur[v]++
 		}
 	})
-	// Absent Entry/Exit marks (a hand-rolled Partitioning) read as
-	// non-boundary, matching Partitioning.IsBoundary.
 	for v := 0; v < n; v++ {
-		s := subs[pt.Part[v]]
-		if v < len(pt.Entry) && pt.Entry[v] {
-			s.Entries = append(s.Entries, local[v])
-		}
-		if v < len(pt.Exit) && pt.Exit[v] {
-			s.Exits = append(s.Exits, local[v])
-		}
+		subs[pt.Part[v]].markBoundary(pt, graph.VertexID(v), local[v])
 	}
 	return subs, local
+}
+
+// finishOffsets turns the per-vertex degree counts accumulated in
+// foff/roff (at index i+1) into prefix-sum offsets and allocates the
+// edge arrays — the step between the count pass and the fill pass of
+// CSR construction.
+func (s *Subgraph) finishOffsets() {
+	for i := 1; i <= s.NumVertices(); i++ {
+		s.foff[i] += s.foff[i-1]
+		s.roff[i] += s.roff[i-1]
+	}
+	s.fedges = make([]int32, s.foff[s.NumVertices()])
+	s.redges = make([]int32, s.roff[s.NumVertices()])
+}
+
+// markBoundary appends local vertex lv (global gv) to the Entries/Exits
+// lists according to the partitioning's boundary marks. Absent marks (a
+// hand-rolled Partitioning) read as non-boundary, matching
+// Partitioning.IsBoundary.
+func (s *Subgraph) markBoundary(pt *graph.Partitioning, gv graph.VertexID, lv int32) {
+	if int(gv) < len(pt.Entry) && pt.Entry[gv] {
+		s.Entries = append(s.Entries, lv)
+	}
+	if int(gv) < len(pt.Exit) && pt.Exit[gv] {
+		s.Exits = append(s.Exits, lv)
+	}
+}
+
+// ExtractOne builds only partition id's Subgraph — what a standalone
+// shard server needs. Unlike Extract it never materializes the other
+// partitions' CSR copies: peak extra memory is one int32 per graph
+// vertex for the local-ID map plus this partition's own adjacency, so
+// shard-process startup memory scales with the shard's share of the
+// graph, not with all k partitions.
+func ExtractOne(g *graph.Graph, pt *graph.Partitioning, id int) *Subgraph {
+	n := g.NumVertices()
+	s := &Subgraph{ID: id}
+	local := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if pt.Part[v] == int32(id) {
+			local[v] = int32(len(s.global))
+			s.global = append(s.global, graph.VertexID(v))
+		}
+	}
+	s.foff = make([]int64, s.NumVertices()+1)
+	s.roff = make([]int64, s.NumVertices()+1)
+	// Two passes over this partition's out-edges only: count, then fill.
+	// Every intra-partition edge has its source here, so this covers the
+	// reverse adjacency too.
+	for _, u := range s.global {
+		for _, v := range g.Out(u) {
+			if pt.Part[v] == int32(id) {
+				s.foff[local[u]+1]++
+				s.roff[local[v]+1]++
+			}
+		}
+	}
+	s.finishOffsets()
+	fcur := make([]int64, s.NumVertices())
+	rcur := make([]int64, s.NumVertices())
+	for _, u := range s.global {
+		lu := local[u]
+		for _, v := range g.Out(u) {
+			if pt.Part[v] == int32(id) {
+				lv := local[v]
+				s.fedges[s.foff[lu]+fcur[lu]] = lv
+				fcur[lu]++
+				s.redges[s.roff[lv]+rcur[lv]] = lu
+				rcur[lv]++
+			}
+		}
+	}
+	for _, u := range s.global {
+		s.markBoundary(pt, u, local[u])
+	}
+	return s
 }
 
 // Scratch is reusable per-worker working memory: an epoch-marked

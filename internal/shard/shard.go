@@ -1,0 +1,160 @@
+// Package shard is the DSR execution runtime: a Shard executes local
+// searches over one partition's subgraph, and a Transport carries task
+// batches from the coordinator to shards — in-process (Loopback) or
+// over TCP (Client/Server) with the internal/wire protocol. The
+// coordinator in internal/dsr only ever speaks Transport, so the
+// single-process engine is literally the distributed one running over
+// Loopback.
+package shard
+
+import (
+	"dsr/internal/partition"
+	"dsr/internal/scc"
+	"dsr/internal/wire"
+)
+
+// Shard executes local-search tasks against one partition. Searches run
+// over the partition's SCC condensation, not its vertices: a BFS visits
+// each component once, so a partition that is one big cycle costs O(1)
+// queue work instead of O(V). Vertex-level answers (local hits, reached
+// boundary vertices) are read back through the component member lists.
+//
+// All scratch (component marks, queue, result and boundary buffers) is
+// owned by the Shard and reused across Run calls with the epoch trick,
+// so steady-state batches allocate nothing here. A Shard is not safe
+// for concurrent Run calls; every Transport serializes them.
+type Shard struct {
+	id      int
+	sub     *partition.Subgraph
+	cond    *scc.Condensation
+	isEntry []bool
+	isExit  []bool
+
+	cvisit  *partition.Marks // component-level BFS visited marks
+	cqueue  []int32          // component-level BFS queue
+	results []wire.Result    // reused result batch
+	arena   []uint32         // reused boundary-vertex storage
+}
+
+// New builds a Shard over one partition's subgraph, building (or
+// reusing the cached) SCC condensation.
+func New(id int, sub *partition.Subgraph) *Shard {
+	cond := sub.Condensation(nil)
+	s := &Shard{
+		id:      id,
+		sub:     sub,
+		cond:    cond,
+		isEntry: make([]bool, sub.NumVertices()),
+		isExit:  make([]bool, sub.NumVertices()),
+		cvisit:  partition.NewMarks(cond.N),
+	}
+	for _, e := range sub.Entries {
+		s.isEntry[e] = true
+	}
+	for _, x := range sub.Exits {
+		s.isExit[x] = true
+	}
+	return s
+}
+
+// ID returns the shard's partition index.
+func (s *Shard) ID() int { return s.id }
+
+// NumVertices returns the partition's vertex count.
+func (s *Shard) NumVertices() int { return s.sub.NumVertices() }
+
+// bfs runs a component-level BFS from the components of the given local
+// seed vertices, forward or backward over the condensation DAG, and
+// returns the visited components. The returned slice aliases s.cqueue
+// and the visit marks stay valid until the next call.
+func (s *Shard) bfs(seeds []int32, forward bool) []int32 {
+	s.cvisit.Reset()
+	q := s.cqueue[:0]
+	for _, v := range seeds {
+		if c := s.cond.Comp[v]; s.cvisit.Mark(c) {
+			q = append(q, c)
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		var nbrs []int32
+		if forward {
+			nbrs = s.cond.Out(q[head])
+		} else {
+			nbrs = s.cond.In(q[head])
+		}
+		for _, d := range nbrs {
+			if s.cvisit.Mark(d) {
+				q = append(q, d)
+			}
+		}
+	}
+	s.cqueue = q
+	return q
+}
+
+// Run executes every task in the batch in order and returns one result
+// per task. The returned slice and the Boundary slices inside it alias
+// Shard-owned buffers: they are valid until the next Run. Seeds and
+// targets are local vertex IDs; a task whose seeds are out of range for
+// this partition indicates a coordinator/shard graph mismatch and
+// panics rather than answering wrong.
+func (s *Shard) Run(tasks []wire.Task) []wire.Result {
+	res := s.results[:0]
+	arena := s.arena[:0]
+	for i := range tasks {
+		t := &tasks[i]
+		r := wire.Result{Kind: t.Kind, Query: t.Query}
+		switch t.Kind {
+		case wire.Forward:
+			comps := s.bfs(t.Seeds, true)
+			for _, v := range t.Targets {
+				if s.cvisit.Seen(s.cond.Comp[v]) {
+					r.Hit = true
+					break
+				}
+			}
+			start := len(arena)
+			for _, c := range comps {
+				for _, v := range s.cond.Members(c) {
+					if s.isExit[v] {
+						arena = append(arena, s.sub.GlobalID(v))
+					}
+				}
+			}
+			r.Boundary = arena[start:len(arena):len(arena)]
+		case wire.Backward:
+			comps := s.bfs(t.Seeds, false)
+			start := len(arena)
+			for _, c := range comps {
+				for _, v := range s.cond.Members(c) {
+					if s.isEntry[v] {
+						arena = append(arena, s.sub.GlobalID(v))
+					}
+				}
+			}
+			r.Boundary = arena[start:len(arena):len(arena)]
+		}
+		res = append(res, r)
+	}
+	s.results, s.arena = res, arena
+	return res
+}
+
+// ValidTask reports whether every seed and target in t is a valid local
+// vertex ID for this shard. The TCP server checks this before Run so a
+// mismatched client gets a protocol error instead of crashing the
+// shard.
+func (s *Shard) ValidTask(t *wire.Task) bool {
+	n := int32(s.sub.NumVertices())
+	for _, v := range t.Seeds {
+		if v < 0 || v >= n {
+			return false
+		}
+	}
+	for _, v := range t.Targets {
+		if v < 0 || v >= n {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"slices"
+	"testing"
+
+	"dsr/internal/graph"
+	"dsr/internal/partition"
+	"dsr/internal/wire"
+)
+
+// buildShards extracts per-partition shards from a small graph.
+func buildShards(t testing.TB, n int, edges [][2]graph.VertexID, k int) ([]*Shard, *graph.Partitioning, []int32) {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	pt, err := graph.RangePartition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, local := partition.Extract(g, pt)
+	shards := make([]*Shard, len(subs))
+	for i, s := range subs {
+		shards[i] = New(i, s)
+	}
+	return shards, pt, local
+}
+
+// chainFixture is 0->1->2->3->4->5 range-split into 3 partitions of two
+// vertices each: 1, 3, 5 are never entries; 2, 4 are entries; 1, 3 are
+// exits.
+func chainFixture(t testing.TB) ([]*Shard, *graph.Partitioning, []int32) {
+	return buildShards(t, 6, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}, 3)
+}
+
+func TestShardRunForwardBackward(t *testing.T) {
+	shards, _, local := chainFixture(t)
+
+	// Forward from global 0 in shard 0: reaches exit 1, no local target.
+	res := shards[0].Run([]wire.Task{
+		{Kind: wire.Forward, Query: 7, Seeds: []int32{local[0]}},
+	})
+	if len(res) != 1 {
+		t.Fatalf("got %d results, want 1", len(res))
+	}
+	if res[0].Query != 7 || res[0].Kind != wire.Forward || res[0].Hit {
+		t.Fatalf("bad result header: %+v", res[0])
+	}
+	if !slices.Equal(res[0].Boundary, []uint32{1}) {
+		t.Fatalf("forward boundary = %v, want [1]", res[0].Boundary)
+	}
+
+	// Forward with a local target: 0 reaches 1 inside the partition.
+	res = shards[0].Run([]wire.Task{
+		{Kind: wire.Forward, Query: 0, Seeds: []int32{local[0]}, Targets: []int32{local[1]}},
+	})
+	if !res[0].Hit {
+		t.Fatal("expected local hit 0 ~> 1")
+	}
+
+	// Backward from global 5 in shard 2: entry 4 reaches it.
+	res = shards[2].Run([]wire.Task{
+		{Kind: wire.Backward, Query: 3, Seeds: []int32{local[5]}},
+	})
+	if !slices.Equal(res[0].Boundary, []uint32{4}) {
+		t.Fatalf("backward boundary = %v, want [4]", res[0].Boundary)
+	}
+
+	// A batch mixes kinds and returns results in task order.
+	res = shards[1].Run([]wire.Task{
+		{Kind: wire.Forward, Query: 1, Seeds: []int32{local[2]}},
+		{Kind: wire.Backward, Query: 2, Seeds: []int32{local[3]}},
+	})
+	if len(res) != 2 || res[0].Query != 1 || res[1].Query != 2 {
+		t.Fatalf("batch order broken: %+v", res)
+	}
+	if !slices.Equal(res[0].Boundary, []uint32{3}) { // 2 ~> exit 3
+		t.Fatalf("batch forward boundary = %v, want [3]", res[0].Boundary)
+	}
+	if !slices.Equal(res[1].Boundary, []uint32{2}) { // entry 2 ~> 3
+		t.Fatalf("batch backward boundary = %v, want [2]", res[1].Boundary)
+	}
+}
+
+func TestShardValidTask(t *testing.T) {
+	shards, _, _ := chainFixture(t)
+	ok := wire.Task{Kind: wire.Forward, Seeds: []int32{0, 1}}
+	if !shards[0].ValidTask(&ok) {
+		t.Error("in-range task rejected")
+	}
+	for _, bad := range []wire.Task{
+		{Kind: wire.Forward, Seeds: []int32{2}},
+		{Kind: wire.Forward, Seeds: []int32{-1}},
+		{Kind: wire.Forward, Seeds: []int32{0}, Targets: []int32{99}},
+	} {
+		if shards[0].ValidTask(&bad) {
+			t.Errorf("out-of-range task accepted: %+v", bad)
+		}
+	}
+}
+
+func TestLoopbackTransport(t *testing.T) {
+	shards, _, local := chainFixture(t)
+	lb := NewLoopback(shards)
+	defer lb.Close()
+	if lb.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", lb.NumShards())
+	}
+	replyc := make(chan Reply, 3)
+	lb.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{local[0]}}}, replyc)
+	lb.Submit(2, []wire.Task{{Kind: wire.Backward, Query: 0, Seeds: []int32{local[5]}}}, replyc)
+	seen := map[int][]uint32{}
+	for i := 0; i < 2; i++ {
+		rep := <-replyc
+		if rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+		seen[rep.Shard] = slices.Clone(rep.Results[0].Boundary)
+	}
+	if !slices.Equal(seen[0], []uint32{1}) || !slices.Equal(seen[2], []uint32{4}) {
+		t.Fatalf("loopback replies = %v", seen)
+	}
+}
+
+func TestLoopbackCloseIdempotent(t *testing.T) {
+	shards, _, _ := chainFixture(t)
+	lb := NewLoopback(shards)
+	if err := lb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

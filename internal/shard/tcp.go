@@ -1,0 +1,372 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dsr/internal/wire"
+)
+
+// handshakeTimeout bounds how long a dialing coordinator waits for the
+// shard's hello frame.
+const handshakeTimeout = 10 * time.Second
+
+// Server serves one shard's local-search RPCs over TCP: per connection,
+// a hello frame identifying the shard, then a request/response loop of
+// MsgTasks -> MsgResults frames. Protocol violations get a MsgError
+// frame and the connection is dropped; the server itself keeps running.
+//
+// Connections share the one Shard, so Run (and the encoding of its
+// aliasing results) is serialized under a mutex.
+type Server struct {
+	sh    *Shard
+	hello wire.Hello
+
+	runMu sync.Mutex // serializes Shard.Run + result encoding
+
+	mu     sync.Mutex // guards ln, conns, closed
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server for sh. numShards and numVertices describe
+// the whole deployment and graphSum fingerprints the exact edge set the
+// shard was built from (graph.Fingerprint; 0 disables the check); all
+// three are echoed in the hello frame so a coordinator built from a
+// different graph or partitioning can refuse the shard instead of
+// silently mis-answering.
+func NewServer(sh *Shard, numShards, numVertices int, graphSum uint64) *Server {
+	return &Server{
+		sh: sh,
+		hello: wire.Hello{
+			ShardID:     uint32(sh.ID()),
+			NumShards:   uint32(numShards),
+			NumVertices: uint32(numVertices),
+			Graph:       graphSum,
+		},
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after
+// Close, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// all connection handlers to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+	s.wg.Done()
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer s.dropConn(c)
+	bw := bufio.NewWriter(c)
+	br := bufio.NewReader(c)
+	var rbuf, wbuf []byte
+	var tasks []wire.Task
+	var seedArena []int32
+
+	wbuf = wire.AppendHello(wbuf[:0], s.hello)
+	if err := wire.WriteFrame(bw, wbuf); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	fail := func(msg string) {
+		wbuf = wire.AppendError(wbuf[:0], msg)
+		if wire.WriteFrame(bw, wbuf) == nil {
+			bw.Flush()
+		}
+	}
+	for {
+		p, err := wire.ReadFrame(br, rbuf)
+		if err != nil {
+			return // EOF or broken conn: just drop it
+		}
+		rbuf = p
+		ty, err := wire.MsgType(p)
+		if err != nil || ty != wire.MsgTasks {
+			fail(fmt.Sprintf("shard %d: want MsgTasks, got %#02x", s.sh.ID(), ty))
+			return
+		}
+		tasks, seedArena, err = wire.DecodeTasks(p, tasks[:0], seedArena[:0])
+		if err != nil {
+			fail(fmt.Sprintf("shard %d: bad task batch: %v", s.sh.ID(), err))
+			return
+		}
+		for i := range tasks {
+			if !s.sh.ValidTask(&tasks[i]) {
+				fail(fmt.Sprintf("shard %d: task %d references vertices outside the partition (graph/partitioning mismatch?)", s.sh.ID(), i))
+				return
+			}
+		}
+		// Run and encode under one lock: the results alias shard-owned
+		// buffers that the next Run (possibly from another connection)
+		// rewrites.
+		s.runMu.Lock()
+		results := s.sh.Run(tasks)
+		wbuf = wire.AppendResults(wbuf[:0], results)
+		s.runMu.Unlock()
+		if err := wire.WriteFrame(bw, wbuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client is the TCP Transport: one connection per shard, requests
+// written in Submit order and responses matched back FIFO (the server
+// answers a connection's requests strictly in order).
+type Client struct {
+	conns []*clientConn
+	once  sync.Once
+}
+
+type clientConn struct {
+	shard int
+	c     net.Conn
+	bw    *bufio.Writer
+
+	mu      sync.Mutex // guards writes, pending, broken
+	pending []chan<- Reply
+	broken  error
+	wbuf    []byte
+
+	done chan struct{} // closed when the reader goroutine exits
+}
+
+// Dial connects to one shard server per address (addrs[i] must be shard
+// i), verifies each hello against the expected deployment shape, and
+// returns the transport. wantVertices < 0 skips the vertex-count check;
+// wantGraph is the caller's graph fingerprint and 0 skips the
+// edge-set check (either side not computing one opts out, since a
+// server may also send 0).
+func Dial(addrs []string, wantVertices int, wantGraph uint64) (*Client, error) {
+	cl := &Client{}
+	for i, addr := range addrs {
+		cc, err := dialShard(i, addr, len(addrs), wantVertices, wantGraph)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.conns = append(cl.conns, cc)
+	}
+	return cl, nil
+}
+
+func dialShard(i int, addr string, numShards, wantVertices int, wantGraph uint64) (*clientConn, error) {
+	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d (%s): %w", i, addr, err)
+	}
+	c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	p, err := wire.ReadFrame(c, nil)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("shard %d (%s): hello: %w", i, addr, err)
+	}
+	h, err := wire.DecodeHello(p)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("shard %d (%s): hello: %w", i, addr, err)
+	}
+	if int(h.ShardID) != i {
+		c.Close()
+		return nil, fmt.Errorf("shard %d (%s): server identifies as shard %d", i, addr, h.ShardID)
+	}
+	if int(h.NumShards) != numShards {
+		c.Close()
+		return nil, fmt.Errorf("shard %d (%s): server built for %d shards, dialing %d", i, addr, h.NumShards, numShards)
+	}
+	if wantVertices >= 0 && int(h.NumVertices) != wantVertices {
+		c.Close()
+		return nil, fmt.Errorf("shard %d (%s): server graph has %d vertices, coordinator has %d", i, addr, h.NumVertices, wantVertices)
+	}
+	if wantGraph != 0 && h.Graph != 0 && h.Graph != wantGraph {
+		c.Close()
+		return nil, fmt.Errorf("shard %d (%s): server built from a different graph (fingerprint %#x, coordinator %#x)", i, addr, h.Graph, wantGraph)
+	}
+	c.SetReadDeadline(time.Time{})
+	cc := &clientConn{shard: i, c: c, bw: bufio.NewWriter(c), done: make(chan struct{})}
+	go cc.readLoop()
+	return cc, nil
+}
+
+// NumShards returns the shard count.
+func (cl *Client) NumShards() int { return len(cl.conns) }
+
+// Submit encodes and writes the batch to shard p's connection. The
+// Reply arrives on replyc when the response frame is read (or an error
+// Reply immediately if the connection is broken).
+func (cl *Client) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
+	cc := cl.conns[p]
+	cc.mu.Lock()
+	if cc.broken != nil {
+		err := cc.broken
+		cc.mu.Unlock()
+		replyc <- Reply{Shard: p, Err: err}
+		return
+	}
+	// Register before writing: the reader pops pending FIFO as response
+	// frames arrive, and a response can only follow a completed write.
+	cc.pending = append(cc.pending, replyc)
+	cc.wbuf = wire.AppendTasks(cc.wbuf[:0], tasks)
+	err := wire.WriteFrame(cc.bw, cc.wbuf)
+	if err == nil {
+		err = cc.bw.Flush()
+	}
+	if err != nil {
+		err = fmt.Errorf("shard %d: write: %w", p, err)
+		cc.broken = err
+		cc.pending = cc.pending[:len(cc.pending)-1]
+		cc.mu.Unlock()
+		cc.c.Close() // wake the reader so it fails any earlier pending
+		replyc <- Reply{Shard: p, Err: err}
+		return
+	}
+	cc.mu.Unlock()
+}
+
+// Close closes every connection and waits for the reader goroutines to
+// exit; outstanding Submits receive error replies.
+func (cl *Client) Close() error {
+	cl.once.Do(func() {
+		for _, cc := range cl.conns {
+			cc.fail(ErrClosed)
+			cc.c.Close()
+		}
+		for _, cc := range cl.conns {
+			<-cc.done
+		}
+	})
+	return nil
+}
+
+// fail marks the connection broken and delivers err to every pending
+// reply.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.broken == nil {
+		cc.broken = err
+	} else {
+		err = cc.broken
+	}
+	pending := cc.pending
+	cc.pending = nil
+	cc.mu.Unlock()
+	for _, replyc := range pending {
+		replyc <- Reply{Shard: cc.shard, Err: err}
+	}
+}
+
+func (cc *clientConn) readLoop() {
+	defer close(cc.done)
+	br := bufio.NewReader(cc.c)
+	var rbuf []byte
+	var results []wire.Result
+	var arena []uint32
+	for {
+		p, err := wire.ReadFrame(br, rbuf)
+		if err != nil {
+			cc.fail(fmt.Errorf("shard %d: read: %w", cc.shard, err))
+			return
+		}
+		rbuf = p
+		ty, err := wire.MsgType(p)
+		if err == nil && ty == wire.MsgError {
+			msg, derr := wire.DecodeError(p)
+			if derr != nil {
+				msg = "undecodable server error"
+			}
+			cc.fail(fmt.Errorf("shard %d: server error: %s", cc.shard, msg))
+			return
+		}
+		// Refuse unsolicited frames BEFORE decoding: the decode reuses
+		// results/arena, whose previous contents the coordinator may
+		// still be reading — only a response matching a pending request
+		// guarantees those buffers are quiescent (the engine consumes a
+		// round fully before submitting the next). pending can only grow
+		// between this check and the decode, since only this goroutine
+		// pops.
+		cc.mu.Lock()
+		unsolicited := len(cc.pending) == 0
+		cc.mu.Unlock()
+		if unsolicited {
+			cc.fail(fmt.Errorf("shard %d: unsolicited response frame", cc.shard))
+			return
+		}
+		results, arena, err = wire.DecodeResults(p, results[:0], arena[:0])
+		if err != nil {
+			cc.fail(fmt.Errorf("shard %d: bad response: %w", cc.shard, err))
+			return
+		}
+		cc.mu.Lock()
+		replyc := cc.pending[0]
+		cc.pending = cc.pending[1:]
+		cc.mu.Unlock()
+		replyc <- Reply{Shard: cc.shard, Results: results}
+	}
+}

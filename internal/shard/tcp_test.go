@@ -1,0 +1,315 @@
+package shard
+
+import (
+	"net"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsr/internal/wire"
+)
+
+// testGraphSum stands in for graph.Fingerprint in transport-level
+// tests, which never load a real graph.
+const testGraphSum = 0xFEEDC0DE
+
+// serveShards boots one TCP server per shard on an ephemeral localhost
+// port and returns their addresses plus a stop function that shuts
+// everything down and waits.
+func serveShards(t testing.TB, shards []*Shard, numVertices int) ([]string, func()) {
+	t.Helper()
+	addrs := make([]string, len(shards))
+	servers := make([]*Server, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		srv := NewServer(sh, len(shards), numVertices, testGraphSum)
+		servers[i] = srv
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Serve(ln); err != nil {
+				t.Errorf("shard server: %v", err)
+			}
+		}()
+	}
+	return addrs, func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		wg.Wait()
+	}
+}
+
+func TestTCPTransportMatchesLoopback(t *testing.T) {
+	shards, _, local := chainFixture(t)
+	addrs, stop := serveShards(t, shards, 6)
+	defer stop()
+
+	cl, err := Dial(addrs, 6, testGraphSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", cl.NumShards())
+	}
+
+	replyc := make(chan Reply, 3)
+	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 4, Seeds: []int32{local[0]}}}, replyc)
+	rep := <-replyc
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Shard != 0 || len(rep.Results) != 1 || rep.Results[0].Query != 4 {
+		t.Fatalf("bad reply: %+v", rep)
+	}
+	if !slices.Equal(rep.Results[0].Boundary, []uint32{1}) {
+		t.Fatalf("boundary = %v, want [1]", rep.Results[0].Boundary)
+	}
+
+	// Several sequential batches on the same connection reuse buffers.
+	for round := 0; round < 5; round++ {
+		cl.Submit(2, []wire.Task{{Kind: wire.Backward, Query: uint32(round), Seeds: []int32{local[5]}}}, replyc)
+		rep := <-replyc
+		if rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+		if rep.Results[0].Query != uint32(round) || !slices.Equal(rep.Results[0].Boundary, []uint32{4}) {
+			t.Fatalf("round %d: %+v", round, rep.Results[0])
+		}
+	}
+}
+
+func TestTCPDialRejectsMismatch(t *testing.T) {
+	shards, _, _ := chainFixture(t)
+	addrs, stop := serveShards(t, shards, 6)
+	defer stop()
+
+	// Wrong vertex count: the coordinator's graph differs.
+	if _, err := Dial(addrs, 7, testGraphSum); err == nil || !strings.Contains(err.Error(), "vertices") {
+		t.Fatalf("vertex mismatch not rejected: %v", err)
+	}
+	// Shards wired in the wrong order: identity check must catch it.
+	swapped := []string{addrs[1], addrs[0], addrs[2]}
+	if _, err := Dial(swapped, 6, testGraphSum); err == nil || !strings.Contains(err.Error(), "identifies as") {
+		t.Fatalf("shard order mismatch not rejected: %v", err)
+	}
+	// Wrong shard count: dial only a prefix.
+	if _, err := Dial(addrs[:2], 6, testGraphSum); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("shard count mismatch not rejected: %v", err)
+	}
+	// Same shape, different edge set: the graph fingerprint catches what
+	// the vertex count cannot.
+	if _, err := Dial(addrs, 6, testGraphSum+1); err == nil || !strings.Contains(err.Error(), "different graph") {
+		t.Fatalf("graph fingerprint mismatch not rejected: %v", err)
+	}
+	// Either side opting out (fingerprint 0) skips the check.
+	if cl, err := Dial(addrs, 6, 0); err != nil {
+		t.Fatalf("fingerprint opt-out rejected: %v", err)
+	} else {
+		cl.Close()
+	}
+}
+
+func TestTCPServerRejectsGarbage(t *testing.T) {
+	shards, _, _ := chainFixture(t)
+	addrs, stop := serveShards(t, shards[:1], 6)
+	defer stop()
+
+	c, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(c, nil); err != nil { // hello
+		t.Fatal(err)
+	}
+	// A hello frame where tasks belong: the server must answer MsgError
+	// and drop the connection, not crash.
+	if err := wire.WriteFrame(c, wire.AppendHello(nil, wire.Hello{})); err != nil {
+		t.Fatal(err)
+	}
+	p, err := wire.ReadFrame(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty, _ := wire.MsgType(p); ty != wire.MsgError {
+		t.Fatalf("got message %#02x, want MsgError", ty)
+	}
+	if _, err := wire.ReadFrame(c, nil); err == nil {
+		t.Fatal("connection still open after protocol error")
+	}
+}
+
+func TestTCPServerRejectsOutOfRangeSeeds(t *testing.T) {
+	shards, _, _ := chainFixture(t)
+	addrs, stop := serveShards(t, shards, 6)
+	defer stop()
+
+	cl, err := Dial(addrs, 6, testGraphSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	replyc := make(chan Reply, 1)
+	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{999}}}, replyc)
+	rep := <-replyc
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "outside the partition") {
+		t.Fatalf("out-of-range seeds not rejected: %v", rep.Err)
+	}
+}
+
+func TestTCPClientSubmitAfterServerGone(t *testing.T) {
+	shards, _, local := chainFixture(t)
+	addrs, stop := serveShards(t, shards, 6)
+
+	cl, err := Dial(addrs, 6, testGraphSum)
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	stop() // all servers down
+
+	replyc := make(chan Reply, 1)
+	deadline := time.After(10 * time.Second)
+	// The write may succeed into the OS buffer before the reset is
+	// observed, but the reply must eventually carry an error, and once
+	// broken every further Submit fails fast.
+	for {
+		cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{local[0]}}}, replyc)
+		select {
+		case rep := <-replyc:
+			if rep.Err != nil {
+				return // broken connection surfaced as an error reply
+			}
+		case <-deadline:
+			t.Fatal("no error reply after server shutdown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPClientUnsolicitedFrame covers a protocol-violating server
+// that answers one request with two response frames: the client must
+// surface a clean error on the connection — and must not decode the
+// extra frame into the buffers backing the first (already delivered)
+// reply, which the caller may still be reading.
+func TestTCPClientUnsolicitedFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		wire.WriteFrame(c, wire.AppendHello(nil, wire.Hello{ShardID: 0, NumShards: 1, NumVertices: 6}))
+		if _, err := wire.ReadFrame(c, nil); err != nil { // the request
+			return
+		}
+		good := wire.AppendResults(nil, []wire.Result{{Kind: wire.Forward, Query: 0, Boundary: []uint32{1, 2}}})
+		evil := wire.AppendResults(nil, []wire.Result{{Kind: wire.Forward, Query: 9, Boundary: []uint32{7, 7, 7}}})
+		wire.WriteFrame(c, good)
+		wire.WriteFrame(c, evil) // unsolicited
+		time.Sleep(2 * time.Second)
+	}()
+	cl, err := Dial([]string{ln.Addr().String()}, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	replyc := make(chan Reply, 1)
+	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+	rep := <-replyc
+	if rep.Err != nil {
+		t.Fatalf("legitimate reply failed: %v", rep.Err)
+	}
+	// The delivered boundary set must stay intact while the reader
+	// handles (and rejects) the unsolicited frame.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if !slices.Equal(rep.Results[0].Boundary, []uint32{1, 2}) {
+			t.Fatalf("delivered reply mutated by unsolicited frame: %v", rep.Results[0].Boundary)
+		}
+		cl.conns[0].mu.Lock()
+		broken := cl.conns[0].broken
+		cl.conns[0].mu.Unlock()
+		if broken != nil {
+			if !strings.Contains(broken.Error(), "unsolicited") {
+				t.Fatalf("connection broken with %v, want unsolicited-frame error", broken)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("unsolicited frame never surfaced as an error")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTCPDialUnreachable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial([]string{addr}, -1, 0); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestTCPClientCloseFailsPending(t *testing.T) {
+	// A server that handshakes but never answers: Close must deliver
+	// error replies to pending submits rather than leaking them.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		wire.WriteFrame(c, wire.AppendHello(nil, wire.Hello{ShardID: 0, NumShards: 1, NumVertices: 6}))
+		time.Sleep(5 * time.Second) // never answer
+	}()
+	cl, err := Dial([]string{ln.Addr().String()}, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replyc := make(chan Reply, 1)
+	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+	done := make(chan struct{})
+	go func() {
+		cl.Close()
+		close(done)
+	}()
+	select {
+	case rep := <-replyc:
+		if rep.Err == nil {
+			t.Fatal("pending submit resolved without error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending submit never resolved")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+
+	"dsr/internal/wire"
+)
+
+// Reply delivers one shard's results for a submitted batch. On a
+// transport failure Err is set and Results is nil.
+type Reply struct {
+	Shard   int
+	Results []wire.Result
+	Err     error
+}
+
+// Transport carries task batches from a coordinator to shards. Submit
+// is asynchronous: exactly one Reply per call is delivered on replyc,
+// with Results in task order. The Results (and their Boundary slices)
+// alias transport-owned buffers and are valid only until the next
+// Submit to the same shard — the coordinator must fully consume a
+// round's replies before starting the next round, which the DSR engine
+// guarantees by serializing rounds under its query lock.
+//
+// Close shuts the transport down deterministically: when it returns, no
+// transport-owned goroutine is still running. Submit after Close
+// panics.
+// Both implementations also expose NumShards(), but the coordinator
+// already knows its partition count, so the interface stays minimal.
+type Transport interface {
+	// Submit ships the batch to shard p. tasks must be non-empty and
+	// remain untouched until the Reply arrives.
+	Submit(p int, tasks []wire.Task, replyc chan<- Reply)
+	// Close releases connections and stops goroutines, waiting for them.
+	Close() error
+}
+
+// ErrClosed is reported by transports used after Close.
+var ErrClosed = errors.New("shard: transport closed")
+
+// Loopback is the in-process Transport: one goroutine per shard serving
+// batches from a channel — the original DSR channel fan-out/fan-in,
+// now behind the same interface as the TCP client. The fast path stays
+// allocation-free: a Submit is one channel send of a request struct,
+// and every buffer involved is owned by the Shard and reused.
+type Loopback struct {
+	shards []*Shard
+	reqs   []chan loopReq
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+type loopReq struct {
+	tasks  []wire.Task
+	replyc chan<- Reply
+}
+
+// NewLoopback starts one serving goroutine per shard and returns the
+// transport. Close stops and joins all of them.
+func NewLoopback(shards []*Shard) *Loopback {
+	lb := &Loopback{
+		shards: shards,
+		reqs:   make([]chan loopReq, len(shards)),
+	}
+	for i := range shards {
+		// Capacity 1: the engine submits at most one batch per shard per
+		// round, so sends never block on a busy shard goroutine.
+		lb.reqs[i] = make(chan loopReq, 1)
+		lb.wg.Add(1)
+		go func(sh *Shard, reqs <-chan loopReq) {
+			defer lb.wg.Done()
+			for req := range reqs {
+				req.replyc <- Reply{Shard: sh.ID(), Results: sh.Run(req.tasks)}
+			}
+		}(shards[i], lb.reqs[i])
+	}
+	return lb
+}
+
+// NumShards returns the shard count.
+func (lb *Loopback) NumShards() int { return len(lb.shards) }
+
+// Submit sends the batch to shard p's goroutine.
+func (lb *Loopback) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
+	lb.reqs[p] <- loopReq{tasks: tasks, replyc: replyc}
+}
+
+// Close stops every shard goroutine and waits until all have exited, so
+// callers observe no goroutine leak after it returns. Safe to call more
+// than once.
+func (lb *Loopback) Close() error {
+	lb.once.Do(func() {
+		for _, ch := range lb.reqs {
+			close(ch)
+		}
+		lb.wg.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestReadFrameHostileHeaders exercises the framing layer against
+// corrupt length prefixes: every case must return an error without
+// panicking, and oversized prefixes must be rejected *before* any
+// allocation (a 4 GiB claim on an 8-byte stream must not make() 4 GiB).
+func TestReadFrameHostileHeaders(t *testing.T) {
+	cases := []struct {
+		name  string
+		input []byte
+		want  error
+	}{
+		{"empty stream", nil, io.EOF},
+		{"partial header", []byte{0x00, 0x01}, io.ErrUnexpectedEOF},
+		{"zero length", []byte{0, 0, 0, 0}, ErrEmptyFrame},
+		{"truncated payload", append([]byte{0, 0, 0, 10}, 1, 2, 3), io.ErrUnexpectedEOF},
+		{"oversized length", []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4}, ErrFrameTooBig},
+		{"just over cap", binary.BigEndian.AppendUint32(nil, MaxFrame+1), ErrFrameTooBig},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(c.input), nil)
+			if !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+	// A frame exactly at the cap is legal.
+	var ok bytes.Buffer
+	payload := make([]byte, MaxFrame)
+	payload[0] = MsgError
+	if err := WriteFrame(&ok, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&ok, nil); err != nil {
+		t.Fatalf("frame at MaxFrame: %v", err)
+	}
+}
+
+// TestDecodeHostilePayloads feeds truncated, garbage, and
+// count-inflated payloads to every decoder: all must error, none may
+// panic, and inflated element counts must be caught before the decoder
+// grows any slice by them.
+func TestDecodeHostilePayloads(t *testing.T) {
+	// A tasks payload claiming 2^60 tasks in 4 bytes: readCount must
+	// reject it against the remaining byte count.
+	inflated := append([]byte{MsgTasks}, binary.AppendUvarint(nil, 1<<60)...)
+	// A results payload whose boundary count outruns the payload.
+	badBoundary := []byte{MsgResults, 1, byte(Forward), 0 /*query*/, 0 /*hit*/, 200 /*count*/}
+	// A varint that overflows uint32 (10 bytes of continuation).
+	over64 := append([]byte{MsgHello}, binary.BigEndian.AppendUint32(nil, helloMagic)...)
+	over64 = append(over64, binary.AppendUvarint(nil, 1<<40)...)
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"type only tasks", []byte{MsgTasks}},
+		{"inflated task count", inflated},
+		{"task kind garbage", []byte{MsgTasks, 1, 0x7F}},
+		{"task truncated mid-seeds", []byte{MsgTasks, 1, byte(Forward), 0, 3, 1}},
+		{"results type only", []byte{MsgResults}},
+		{"inflated boundary count", badBoundary},
+		{"bad hit byte", []byte{MsgResults, 1, byte(Forward), 0, 9, 0}},
+		{"hello short magic", []byte{MsgHello, 0x44, 0x53}},
+		{"hello bad magic", []byte{MsgHello, 0, 0, 0, 0, 1, 1, 1}},
+		{"hello oversized varint", over64},
+		{"wrong type everywhere", AppendError(nil, "x")},
+		{"trailing garbage", append(AppendTasks(nil, nil), 0xEE)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := DecodeTasks(c.payload, nil, nil); err == nil {
+				t.Error("DecodeTasks accepted hostile payload")
+			}
+			if _, _, err := DecodeResults(c.payload, nil, nil); err == nil {
+				t.Error("DecodeResults accepted hostile payload")
+			}
+			if _, err := DecodeHello(c.payload); err == nil {
+				t.Error("DecodeHello accepted hostile payload")
+			}
+		})
+	}
+}
+
+// FuzzDecodeTasks asserts the decoder never panics and that anything it
+// accepts re-encodes to a payload it accepts again with equal content
+// (decode-encode-decode fixpoint).
+func FuzzDecodeTasks(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendTasks(nil, nil))
+	f.Add(AppendTasks(nil, []Task{
+		{Kind: Forward, Query: 9, Seeds: []int32{1, 300, 70000}, Targets: []int32{2}},
+		{Kind: Backward, Query: 10, Seeds: []int32{0}},
+	}))
+	f.Add([]byte{MsgTasks, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tasks, _, err := DecodeTasks(data, nil, nil)
+		if err != nil {
+			return
+		}
+		re := AppendTasks(nil, tasks)
+		again, _, err := DecodeTasks(re, nil, nil)
+		if err != nil {
+			t.Fatalf("re-decode of accepted payload failed: %v", err)
+		}
+		if len(again) != len(tasks) {
+			t.Fatalf("fixpoint broke: %d tasks then %d", len(tasks), len(again))
+		}
+		for i := range tasks {
+			if !taskEqual(tasks[i], again[i]) {
+				t.Fatalf("task %d changed across re-encode", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeResults mirrors FuzzDecodeTasks for the result decoder.
+func FuzzDecodeResults(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendResults(nil, nil))
+	f.Add(AppendResults(nil, []Result{
+		{Kind: Forward, Query: 1, Hit: true, Boundary: []uint32{7, 1 << 30}},
+		{Kind: Backward, Query: 2, Boundary: []uint32{0}},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		results, _, err := DecodeResults(data, nil, nil)
+		if err != nil {
+			return
+		}
+		re := AppendResults(nil, results)
+		again, _, err := DecodeResults(re, nil, nil)
+		if err != nil {
+			t.Fatalf("re-decode of accepted payload failed: %v", err)
+		}
+		if len(again) != len(results) {
+			t.Fatalf("fixpoint broke: %d results then %d", len(results), len(again))
+		}
+	})
+}
+
+// FuzzReadFrame asserts the framing layer never panics or over-allocates
+// on arbitrary byte streams.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte{MsgHello, 1, 2, 3})
+	f.Add(buf.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 2, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var scratch []byte
+		for {
+			p, err := ReadFrame(r, scratch)
+			if err != nil {
+				return
+			}
+			if len(p) == 0 || len(p) > MaxFrame {
+				t.Fatalf("accepted frame of %d bytes", len(p))
+			}
+			scratch = p
+		}
+	})
+}

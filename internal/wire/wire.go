@@ -1,0 +1,424 @@
+// Package wire is the binary protocol between the DSR coordinator and
+// its shards: length-prefixed frames carrying varint-packed messages.
+// A frame is a 4-byte big-endian payload length followed by the
+// payload; the payload's first byte is the message type. Four message
+// types exist:
+//
+//   - MsgHello    — server -> client on connect: shard identity
+//     (shard ID, shard count, vertex count) so a coordinator can refuse
+//     a shard built from a different graph or partitioning.
+//   - MsgTasks    — client -> server: a batch of local-search tasks,
+//     each tagged with the batch-query index it belongs to.
+//   - MsgResults  — server -> client: one result per task, in task
+//     order, carrying local-hit flags and boundary-vertex sets.
+//   - MsgError    — server -> client: a fatal protocol error as text;
+//     the connection is closed afterwards.
+//
+// Vertex IDs are packed as unsigned varints: boundary sets are the
+// dominant payload and real-world IDs are small, so varints beat fixed
+// 4-byte encoding on exactly the traffic DSR is designed to bound
+// (boundary vertices only, never partition interiors).
+//
+// Every Decode* function is hardened against hostile input: lengths are
+// capped before any allocation, element counts are validated against
+// the bytes actually present (each element costs at least one byte),
+// and all errors are returned, never panicked.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrame caps a frame payload at 64 MiB. ReadFrame rejects larger
+// length prefixes before allocating, so a garbage or hostile header
+// cannot trigger an arbitrarily large make.
+const MaxFrame = 1 << 26
+
+// Message type bytes (first byte of every frame payload).
+const (
+	MsgHello   = 0x01
+	MsgTasks   = 0x02
+	MsgResults = 0x03
+	MsgError   = 0x04
+)
+
+// helloMagic guards against a client speaking to something that is not
+// a DSR shard: it leads the hello payload ("DSR1").
+const helloMagic = 0x44535231
+
+// Protocol errors.
+var (
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
+	ErrEmptyFrame  = errors.New("wire: empty frame")
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrBadMagic    = errors.New("wire: bad hello magic")
+)
+
+// TaskKind selects the local search a shard runs for a task.
+type TaskKind uint8
+
+const (
+	// Forward is a BFS from the query's sources within the shard's
+	// partition: report a hit if a local target is reached, plus every
+	// reached exit vertex.
+	Forward TaskKind = iota
+	// Backward is a reverse BFS from the query's targets: report every
+	// entry vertex that can reach a target locally.
+	Backward
+)
+
+// Task is one local-search request. Seeds and Targets are local vertex
+// IDs within the destination shard's partition; Query ties the task to
+// a position in the coordinator's batch so results can be routed back.
+// Targets is only meaningful for Forward tasks.
+type Task struct {
+	Kind    TaskKind
+	Query   uint32
+	Seeds   []int32
+	Targets []int32
+}
+
+// Result answers one Task. Boundary holds global vertex IDs: exits
+// reached (Forward) or entries that reach a target (Backward). Hit is
+// only meaningful for Forward results.
+type Result struct {
+	Kind     TaskKind
+	Query    uint32
+	Hit      bool
+	Boundary []uint32
+}
+
+// Hello identifies a shard server to a connecting coordinator. Graph
+// is a fingerprint of the exact edge set the shard was built from
+// (graph.Fingerprint); 0 means "not computed" and skips the check.
+type Hello struct {
+	ShardID     uint32
+	NumShards   uint32
+	NumVertices uint32
+	Graph       uint64
+}
+
+// WriteFrame writes one length-prefixed frame. The payload must be
+// non-empty and at most MaxFrame bytes.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return ErrEmptyFrame
+	}
+	if len(payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf's capacity when possible, and
+// returns the payload. The length prefix is validated against MaxFrame
+// before any allocation. io.EOF is returned only for a clean EOF at a
+// frame boundary; a partial frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, ErrEmptyFrame
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendHello appends a MsgHello payload to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, MsgHello)
+	dst = binary.BigEndian.AppendUint32(dst, helloMagic)
+	dst = binary.AppendUvarint(dst, uint64(h.ShardID))
+	dst = binary.AppendUvarint(dst, uint64(h.NumShards))
+	dst = binary.AppendUvarint(dst, uint64(h.NumVertices))
+	dst = binary.AppendUvarint(dst, h.Graph)
+	return dst
+}
+
+// DecodeHello decodes a MsgHello payload (including the type byte).
+func DecodeHello(p []byte) (Hello, error) {
+	var h Hello
+	p, err := expectType(p, MsgHello)
+	if err != nil {
+		return h, err
+	}
+	if len(p) < 4 {
+		return h, ErrTruncated
+	}
+	if binary.BigEndian.Uint32(p) != helloMagic {
+		return h, ErrBadMagic
+	}
+	p = p[4:]
+	if h.ShardID, p, err = readUint32(p); err != nil {
+		return h, err
+	}
+	if h.NumShards, p, err = readUint32(p); err != nil {
+		return h, err
+	}
+	if h.NumVertices, p, err = readUint32(p); err != nil {
+		return h, err
+	}
+	if h.Graph, p, err = readUint64(p); err != nil {
+		return h, err
+	}
+	if len(p) != 0 {
+		return h, fmt.Errorf("wire: %d trailing bytes after hello", len(p))
+	}
+	return h, nil
+}
+
+// AppendTasks appends a MsgTasks payload carrying the batch to dst.
+func AppendTasks(dst []byte, tasks []Task) []byte {
+	dst = append(dst, MsgTasks)
+	dst = binary.AppendUvarint(dst, uint64(len(tasks)))
+	for i := range tasks {
+		t := &tasks[i]
+		dst = append(dst, byte(t.Kind))
+		dst = binary.AppendUvarint(dst, uint64(t.Query))
+		dst = appendIDs32(dst, t.Seeds)
+		dst = appendIDs32(dst, t.Targets)
+	}
+	return dst
+}
+
+// DecodeTasks decodes a MsgTasks payload. Decoded tasks are appended to
+// dst and their Seeds/Targets slices into arena, so a caller that keeps
+// both between calls (truncated to length 0) pays no steady-state
+// allocations. The returned tasks alias the returned arena.
+func DecodeTasks(p []byte, dst []Task, arena []int32) ([]Task, []int32, error) {
+	p, err := expectType(p, MsgTasks)
+	if err != nil {
+		return dst, arena, err
+	}
+	count, p, err := readCount(p)
+	if err != nil {
+		return dst, arena, err
+	}
+	for i := 0; i < count; i++ {
+		if len(p) == 0 {
+			return dst, arena, ErrTruncated
+		}
+		kind := TaskKind(p[0])
+		if kind != Forward && kind != Backward {
+			return dst, arena, fmt.Errorf("wire: bad task kind %d", kind)
+		}
+		p = p[1:]
+		var q uint32
+		if q, p, err = readUint32(p); err != nil {
+			return dst, arena, err
+		}
+		var seeds, targets []int32
+		if seeds, arena, p, err = readIDs32(p, arena); err != nil {
+			return dst, arena, err
+		}
+		if targets, arena, p, err = readIDs32(p, arena); err != nil {
+			return dst, arena, err
+		}
+		dst = append(dst, Task{Kind: kind, Query: q, Seeds: seeds, Targets: targets})
+	}
+	if len(p) != 0 {
+		return dst, arena, fmt.Errorf("wire: %d trailing bytes after tasks", len(p))
+	}
+	return dst, arena, nil
+}
+
+// AppendResults appends a MsgResults payload to dst.
+func AppendResults(dst []byte, results []Result) []byte {
+	dst = append(dst, MsgResults)
+	dst = binary.AppendUvarint(dst, uint64(len(results)))
+	for i := range results {
+		r := &results[i]
+		dst = append(dst, byte(r.Kind))
+		dst = binary.AppendUvarint(dst, uint64(r.Query))
+		hit := byte(0)
+		if r.Hit {
+			hit = 1
+		}
+		dst = append(dst, hit)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Boundary)))
+		for _, v := range r.Boundary {
+			dst = binary.AppendUvarint(dst, uint64(v))
+		}
+	}
+	return dst
+}
+
+// DecodeResults decodes a MsgResults payload, appending results to dst
+// and their Boundary slices into arena (same reuse contract as
+// DecodeTasks).
+func DecodeResults(p []byte, dst []Result, arena []uint32) ([]Result, []uint32, error) {
+	p, err := expectType(p, MsgResults)
+	if err != nil {
+		return dst, arena, err
+	}
+	count, p, err := readCount(p)
+	if err != nil {
+		return dst, arena, err
+	}
+	for i := 0; i < count; i++ {
+		if len(p) < 3 { // kind + query varint + hit, at minimum
+			return dst, arena, ErrTruncated
+		}
+		kind := TaskKind(p[0])
+		if kind != Forward && kind != Backward {
+			return dst, arena, fmt.Errorf("wire: bad result kind %d", kind)
+		}
+		p = p[1:]
+		var q uint32
+		if q, p, err = readUint32(p); err != nil {
+			return dst, arena, err
+		}
+		if len(p) == 0 {
+			return dst, arena, ErrTruncated
+		}
+		if p[0] > 1 {
+			return dst, arena, fmt.Errorf("wire: bad hit byte %d", p[0])
+		}
+		hit := p[0] == 1
+		p = p[1:]
+		n, p2, err := readCount(p)
+		if err != nil {
+			return dst, arena, err
+		}
+		p = p2
+		start := len(arena)
+		for j := 0; j < n; j++ {
+			var v uint32
+			if v, p, err = readUint32(p); err != nil {
+				return dst, arena, err
+			}
+			arena = append(arena, v)
+		}
+		dst = append(dst, Result{Kind: kind, Query: q, Hit: hit, Boundary: arena[start:len(arena):len(arena)]})
+	}
+	if len(p) != 0 {
+		return dst, arena, fmt.Errorf("wire: %d trailing bytes after results", len(p))
+	}
+	return dst, arena, nil
+}
+
+// AppendError appends a MsgError payload to dst.
+func AppendError(dst []byte, msg string) []byte {
+	return append(append(dst, MsgError), msg...)
+}
+
+// DecodeError decodes a MsgError payload into its message text.
+func DecodeError(p []byte) (string, error) {
+	p, err := expectType(p, MsgError)
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// MsgType peeks at a payload's message type byte.
+func MsgType(p []byte) (byte, error) {
+	if len(p) == 0 {
+		return 0, ErrTruncated
+	}
+	return p[0], nil
+}
+
+func expectType(p []byte, want byte) ([]byte, error) {
+	if len(p) == 0 {
+		return nil, ErrTruncated
+	}
+	if p[0] != want {
+		return nil, fmt.Errorf("wire: message type %#02x, want %#02x", p[0], want)
+	}
+	return p[1:], nil
+}
+
+// readCount reads an element-count varint and validates it against the
+// bytes actually remaining: every element costs at least one byte, so a
+// count larger than len(rest) is corrupt and must fail here, before the
+// caller extends any slice by it.
+func readCount(p []byte) (int, []byte, error) {
+	c, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	p = p[n:]
+	if c > uint64(len(p)) {
+		return 0, nil, fmt.Errorf("wire: count %d exceeds %d remaining bytes", c, len(p))
+	}
+	return int(c), p, nil
+}
+
+func readUint64(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, p[n:], nil
+}
+
+func readUint32(p []byte) (uint32, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	if v > math.MaxUint32 {
+		return 0, nil, fmt.Errorf("wire: varint %d overflows uint32", v)
+	}
+	return uint32(v), p[n:], nil
+}
+
+func appendIDs32(dst []byte, ids []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, v := range ids {
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+	}
+	return dst
+}
+
+// readIDs32 reads a count-prefixed vertex-ID list into arena and
+// returns the slice of arena holding it. IDs must fit int32: local
+// vertex IDs are non-negative int32 by construction.
+func readIDs32(p []byte, arena []int32) ([]int32, []int32, []byte, error) {
+	n, p, err := readCount(p)
+	if err != nil {
+		return nil, arena, nil, err
+	}
+	start := len(arena)
+	for j := 0; j < n; j++ {
+		v, np := binary.Uvarint(p)
+		if np <= 0 {
+			return nil, arena, nil, ErrTruncated
+		}
+		if v > math.MaxInt32 {
+			return nil, arena, nil, fmt.Errorf("wire: vertex ID %d overflows int32", v)
+		}
+		arena = append(arena, int32(v))
+		p = p[np:]
+	}
+	return arena[start:len(arena):len(arena)], arena, p, nil
+}

@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		{0x01},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xAB}, 1<<16),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+		scratch = got
+	}
+	if _, err := ReadFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriteFrameRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); !errors.Is(err, ErrEmptyFrame) {
+		t.Errorf("empty payload: err = %v, want ErrEmptyFrame", err)
+	}
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("oversized payload: err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, h := range []Hello{
+		{},
+		{ShardID: 2, NumShards: 5, NumVertices: 1_000_000, Graph: 0xDEADBEEFCAFE},
+		{ShardID: math.MaxUint32, NumShards: math.MaxUint32, NumVertices: math.MaxUint32, Graph: math.MaxUint64},
+	} {
+		got, err := DecodeHello(AppendHello(nil, h))
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func taskEqual(a, b Task) bool {
+	return a.Kind == b.Kind && a.Query == b.Query &&
+		idsEqual(a.Seeds, b.Seeds) && idsEqual(a.Targets, b.Targets)
+}
+
+func idsEqual[T int32 | uint32](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTasksRoundTrip(t *testing.T) {
+	cases := [][]Task{
+		nil,
+		{{Kind: Forward, Query: 0, Seeds: []int32{0}}},
+		{{Kind: Backward, Query: 7, Seeds: []int32{3, 1, 4, 1, 5}}},
+		{
+			{Kind: Forward, Query: 1, Seeds: []int32{0, math.MaxInt32}, Targets: []int32{9}},
+			{Kind: Backward, Query: 2, Seeds: []int32{128, 16384, 2097152}},
+			{Kind: Forward, Query: math.MaxUint32, Seeds: []int32{5}, Targets: nil},
+		},
+	}
+	for ci, tasks := range cases {
+		got, _, err := DecodeTasks(AppendTasks(nil, tasks), nil, nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(got) != len(tasks) {
+			t.Fatalf("case %d: got %d tasks, want %d", ci, len(got), len(tasks))
+		}
+		for i := range tasks {
+			if !taskEqual(got[i], tasks[i]) {
+				t.Fatalf("case %d task %d: got %+v, want %+v", ci, i, got[i], tasks[i])
+			}
+		}
+	}
+}
+
+func TestResultsRoundTrip(t *testing.T) {
+	cases := [][]Result{
+		nil,
+		{{Kind: Forward, Query: 3, Hit: true}},
+		{
+			{Kind: Forward, Query: 0, Hit: false, Boundary: []uint32{1, 2, math.MaxUint32}},
+			{Kind: Backward, Query: 1, Boundary: []uint32{300, 70000}},
+			{Kind: Backward, Query: 2, Boundary: nil},
+		},
+	}
+	for ci, results := range cases {
+		got, _, err := DecodeResults(AppendResults(nil, results), nil, nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(got) != len(results) {
+			t.Fatalf("case %d: got %d results, want %d", ci, len(got), len(results))
+		}
+		for i := range results {
+			w, g := results[i], got[i]
+			if g.Kind != w.Kind || g.Query != w.Query || g.Hit != w.Hit || !idsEqual(g.Boundary, w.Boundary) {
+				t.Fatalf("case %d result %d: got %+v, want %+v", ci, i, g, w)
+			}
+		}
+	}
+}
+
+// TestDecodeReuse verifies the arena-reuse contract: decoding into
+// retained buffers allocates nothing in steady state.
+func TestDecodeReuse(t *testing.T) {
+	tasks := []Task{
+		{Kind: Forward, Query: 1, Seeds: []int32{1, 2, 3}, Targets: []int32{4}},
+		{Kind: Backward, Query: 2, Seeds: []int32{5, 6}},
+	}
+	payload := AppendTasks(nil, tasks)
+	var dst []Task
+	var arena []int32
+	var err error
+	// Warm up capacity.
+	if dst, arena, err = DecodeTasks(payload, dst[:0], arena[:0]); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, arena, err = DecodeTasks(payload, dst[:0], arena[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state DecodeTasks allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	msg := "shard 3: partition mismatch"
+	got, err := DecodeError(AppendError(nil, msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != msg {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+func TestRandomizedTaskRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		tasks := make([]Task, rng.Intn(8))
+		for i := range tasks {
+			tasks[i] = Task{
+				Kind:    TaskKind(rng.Intn(2)),
+				Query:   rng.Uint32(),
+				Seeds:   randIDs(rng),
+				Targets: randIDs(rng),
+			}
+		}
+		got, _, err := DecodeTasks(AppendTasks(nil, tasks), nil, nil)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for i := range tasks {
+			if !taskEqual(got[i], tasks[i]) {
+				t.Fatalf("iter %d task %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func randIDs(rng *rand.Rand) []int32 {
+	ids := make([]int32, rng.Intn(10))
+	for i := range ids {
+		ids[i] = rng.Int31()
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
+}
+
+func TestMsgType(t *testing.T) {
+	if _, err := MsgType(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("MsgType(nil): err = %v, want ErrTruncated", err)
+	}
+	ty, err := MsgType(AppendHello(nil, Hello{}))
+	if err != nil || ty != MsgHello {
+		t.Errorf("MsgType(hello) = %#02x, %v; want MsgHello", ty, err)
+	}
+}

@@ -4,16 +4,21 @@
 //	[{"name": "BenchmarkIndexBuild-8", "pkg": "dsr/internal/dsr",
 //	  "iterations": 1, "metrics": {"ns/op": 2.1e8, "B/op": 123, ...}}]
 //
-// `make bench-json` pipes the benchmark run through it to emit
-// BENCH_build.json, which CI uploads as a workflow artifact so the perf
-// trajectory is recorded per commit.
+// -only and -not filter result lines by benchmark-name regexp, so one
+// benchmark run can be split into several artifacts. `make bench-json`
+// runs it twice over the same output to emit BENCH_build.json (index
+// construction) and BENCH_query.json (query paths, including the
+// batched and TCP variants), which CI uploads as workflow artifacts so
+// the perf trajectory is recorded per commit.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -26,6 +31,23 @@ type result struct {
 }
 
 func main() {
+	only := flag.String("only", "", "keep only benchmarks whose name matches this regexp")
+	not := flag.String("not", "", "drop benchmarks whose name matches this regexp")
+	flag.Parse()
+	var onlyRe, notRe *regexp.Regexp
+	var err error
+	if *only != "" {
+		if onlyRe, err = regexp.Compile(*only); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -only:", err)
+			os.Exit(2)
+		}
+	}
+	if *not != "" {
+		if notRe, err = regexp.Compile(*not); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -not:", err)
+			os.Exit(2)
+		}
+	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	results := []result{}
@@ -43,6 +65,12 @@ func main() {
 		}
 		f := strings.Fields(line)
 		if len(f) < 3 {
+			continue
+		}
+		if onlyRe != nil && !onlyRe.MatchString(f[0]) {
+			continue
+		}
+		if notRe != nil && notRe.MatchString(f[0]) {
 			continue
 		}
 		iters, err := strconv.ParseInt(f[1], 10, 64)
