@@ -1,6 +1,18 @@
 GO ?= go
 
-.PHONY: build test test-e2e vet fmt fmt-check lint bench bench-smoke bench-json
+# Benchmark-regression gate settings. BENCH_TIME=100x amortizes warmup
+# (first-round arena growth would otherwise dominate allocs/op and
+# ns/op) while keeping the full gate run under a minute. BENCH_TOLERANCE
+# is deliberately looser than benchjson's 1.3 default: the gate compares
+# a committed baseline against runs on shared CI runners, so it is tuned
+# to catch real regressions (2x+) without flaking on scheduler noise.
+# allocs/op is noise-free at 100 iterations, so the same tolerance is an
+# effectively exact gate there — including 0 allocs/op staying 0.
+BENCH_TOLERANCE ?= 1.6
+BENCH_TIME ?= 100x
+FUZZ_TIME ?= 30s
+
+.PHONY: build test test-e2e vet fmt fmt-check lint bench bench-smoke bench-json bench-baseline bench-gate fuzz-smoke vulncheck
 
 build:
 	$(GO) build ./...
@@ -46,3 +58,48 @@ bench-json:
 	$(GO) run ./tools/benchjson -only '^Benchmark((TCP)?Query|NaiveReach)' < bench.out > BENCH_query.json
 	@rm -f bench.out
 	@echo "wrote BENCH_build.json and BENCH_query.json"
+
+# Re-record the committed benchmark baseline that bench-gate compares
+# against. Run this (and commit BENCH_baseline/) when a perf change is
+# intentional; the gate's output names this target on failure.
+bench-baseline:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCH_TIME) -run='^$$' ./... > bench-baseline.out
+	@mkdir -p BENCH_baseline
+	$(GO) run ./tools/benchjson -not '^Benchmark((TCP)?Query|NaiveReach)' < bench-baseline.out > BENCH_baseline/BENCH_build.json
+	$(GO) run ./tools/benchjson -only '^Benchmark((TCP)?Query|NaiveReach)' < bench-baseline.out > BENCH_baseline/BENCH_query.json
+	@rm -f bench-baseline.out
+	@echo "wrote BENCH_baseline/BENCH_build.json and BENCH_baseline/BENCH_query.json"
+
+# CI benchmark-regression gate: run the suite fresh (same benchtime as
+# the baseline) and fail if ns/op or allocs/op regressed past
+# BENCH_TOLERANCE on any benchmark in the committed baseline. Names are
+# matched with the -N core-count suffix stripped, so the baseline
+# machine and the CI runner need not have the same core count — but
+# ns/op is still absolute time, so record the baseline on hardware in
+# the same class as the gate runner (CI's own bench-smoke artifacts are
+# a good source) or widen BENCH_TOLERANCE; allocs/op is exact on any
+# machine and is where the gate has teeth regardless. Both suites are
+# compared even if the first regresses, so one run reports everything.
+bench-gate:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCH_TIME) -run='^$$' ./... > bench-gate.out
+	$(GO) run ./tools/benchjson -not '^Benchmark((TCP)?Query|NaiveReach)' < bench-gate.out > bench-gate-build.json
+	$(GO) run ./tools/benchjson -only '^Benchmark((TCP)?Query|NaiveReach)' < bench-gate.out > bench-gate-query.json
+	@fail=0; \
+	$(GO) run ./tools/benchjson -compare BENCH_baseline/BENCH_build.json bench-gate-build.json -tolerance $(BENCH_TOLERANCE) || fail=1; \
+	$(GO) run ./tools/benchjson -compare BENCH_baseline/BENCH_query.json bench-gate-query.json -tolerance $(BENCH_TOLERANCE) || fail=1; \
+	rm -f bench-gate.out bench-gate-build.json bench-gate-query.json; \
+	exit $$fail
+
+# Run every wire-protocol fuzz target for FUZZ_TIME each, growing the
+# hostile-input corpus instead of only replaying committed seeds. Any
+# crasher go finds is written to testdata/fuzz and fails the run.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeTasks$$' -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeResults$$' -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeHello$$' -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=$(FUZZ_TIME)
+
+# Scan dependencies and stdlib usage against the Go vulnerability
+# database (network access required; CI installs the tool pinned).
+vulncheck:
+	govulncheck ./...

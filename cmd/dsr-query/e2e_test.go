@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -16,8 +17,12 @@ import (
 // TestBinariesTCPEndToEnd builds the real dsr-shard and dsr-query
 // binaries, boots a 3-shard deployment on localhost, and runs a query
 // session through the CLI — the full launchable system, not just the
-// in-process transports. Shards listen on port 0 and the test parses
-// the bound address from their logs, so no port is assumed free.
+// in-process transports. It repeats the whole exercise for the hash and
+// the locality partitioner (the -partitioner flag must reach both
+// binaries and agree), and finishes with a malformed-input session that
+// must exit non-zero while still answering the well-formed lines.
+// Shards listen on port 0 and the test parses the bound address from
+// their logs, so no port is assumed free.
 func TestBinariesTCPEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")
@@ -34,13 +39,87 @@ func TestBinariesTCPEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	const k = 3
+	for _, spec := range []string{"hash", "locality:seed=7"} {
+		t.Run(strings.Split(spec, ":")[0], func(t *testing.T) {
+			addrs := bootShardFleet(t, bin, graphPath, 3, spec)
+
+			queries := strings.Join([]string{
+				"0 | 7",     // across the bridge
+				"7 | 0",     // against the bridge
+				"4 | 4",     // reflexive
+				"# comment", // ignored
+				"0 1 | 100", // out-of-range target
+			}, "\n")
+			want := "true\nfalse\ntrue\nfalse\n"
+
+			for _, batch := range []bool{false, true} {
+				args := []string{"-graph", graphPath, "-partitioner", spec,
+					"-shards", strings.Join(addrs, ",")}
+				if batch {
+					args = append(args, "-batch")
+				}
+				out, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"), args, queries, os.Stderr)
+				if code != 0 {
+					t.Fatalf("dsr-query (batch=%v) exit code %d", batch, code)
+				}
+				if out != want {
+					t.Errorf("dsr-query (batch=%v) output:\n%swant:\n%s", batch, out, want)
+				}
+			}
+
+			// A coordinator with a mismatched partitioner must be refused
+			// during the handshake, before any query runs.
+			if spec != "hash" {
+				args := []string{"-graph", graphPath, "-partitioner", "hash",
+					"-shards", strings.Join(addrs, ",")}
+				var stderr strings.Builder
+				_, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"), args, "0 | 7", &stderr)
+				if code == 0 {
+					t.Errorf("partitioner mismatch not rejected")
+				}
+				if !strings.Contains(stderr.String(), "different partitioning") {
+					t.Errorf("mismatch error does not name the partitioning:\n%s", stderr.String())
+				}
+			}
+		})
+	}
+
+	// Malformed lines: per-line stderr errors, remaining queries still
+	// answered, non-zero exit (in both modes). Previously the process
+	// died at the first bad line and dropped the rest of the workload.
+	t.Run("malformed-input", func(t *testing.T) {
+		for _, batch := range []bool{false, true} {
+			args := []string{"-graph", graphPath, "-k", "2"}
+			if batch {
+				args = append(args, "-batch")
+			}
+			var stderr strings.Builder
+			out, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"), args,
+				"0 | 7\nbogus line\n7 | 0", &stderr)
+			if code == 0 {
+				t.Errorf("batch=%v: exit code 0 on malformed input", batch)
+			}
+			if want := "true\nfalse\n"; out != want {
+				t.Errorf("batch=%v: output %q, want %q", batch, out, want)
+			}
+			if !strings.Contains(stderr.String(), "line 2") {
+				t.Errorf("batch=%v: stderr does not name the bad line:\n%s", batch, stderr.String())
+			}
+		}
+	})
+}
+
+// bootShardFleet starts k dsr-shard processes with the given
+// partitioner spec and returns their addresses; the processes are
+// killed on test cleanup.
+func bootShardFleet(t *testing.T, bin, graphPath string, k int, spec string) []string {
+	t.Helper()
 	addrRe := regexp.MustCompile(`serving on (\S+)`)
 	var addrs []string
 	for i := 0; i < k; i++ {
 		cmd := exec.Command(filepath.Join(bin, "dsr-shard"),
 			"-graph", graphPath, "-shards", fmt.Sprint(k), "-id", fmt.Sprint(i),
-			"-listen", "127.0.0.1:0")
+			"-partitioner", spec, "-listen", "127.0.0.1:0")
 		stderr, err := cmd.StderrPipe()
 		if err != nil {
 			t.Fatal(err)
@@ -67,40 +146,24 @@ func TestBinariesTCPEndToEnd(t *testing.T) {
 			t.Fatalf("shard %d never reported its address", i)
 		}
 	}
+	return addrs
+}
 
-	queries := strings.Join([]string{
-		"0 | 7",     // across the bridge
-		"7 | 0",     // against the bridge
-		"4 | 4",     // reflexive
-		"# comment", // ignored
-		"0 1 | 100", // out-of-range target
-	}, "\n")
-	want := "true\nfalse\ntrue\nfalse\n"
-
-	for _, batch := range []bool{false, true} {
-		args := []string{"-graph", graphPath, "-shards", strings.Join(addrs, ",")}
-		if batch {
-			args = append(args, "-batch")
+// runQueryBinary runs dsr-query with the given stdin and returns its
+// stdout and exit code; any failure that is not a plain non-zero exit
+// is fatal.
+func runQueryBinary(t *testing.T, bin string, args []string, stdin string, stderr io.Writer) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	cmd.Stderr = stderr
+	out, err := cmd.Output()
+	if err != nil {
+		var exitErr *exec.ExitError
+		if errors.As(err, &exitErr) {
+			return string(out), exitErr.ExitCode()
 		}
-		cmd := exec.Command(filepath.Join(bin, "dsr-query"), args...)
-		cmd.Stdin = strings.NewReader(queries)
-		cmd.Stderr = os.Stderr
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := cmd.Start(); err != nil {
-			t.Fatal(err)
-		}
-		out, err := io.ReadAll(stdout)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := cmd.Wait(); err != nil {
-			t.Fatalf("dsr-query (batch=%v): %v", batch, err)
-		}
-		if string(out) != want {
-			t.Errorf("dsr-query (batch=%v) output:\n%swant:\n%s", batch, out, want)
-		}
+		t.Fatalf("dsr-query %v: %v", args, err)
 	}
+	return string(out), 0
 }

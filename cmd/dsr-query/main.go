@@ -10,16 +10,20 @@
 // sources left of '|', targets right, whitespace-separated; the answer
 // (true/false) is printed per line. With -batch all queries are read
 // first and shipped as one QueryBatch — one round-trip per shard for
-// the entire workload.
+// the entire workload. A malformed line is reported on stderr with its
+// line number and skipped; the process still answers every well-formed
+// query but exits non-zero, so pipelines can't silently lose queries.
 //
 //	dsr-query -graph edges.txt -shards 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -batch
-//	dsr-query -graph edges.txt -k 4            # in-process, no servers needed
+//	dsr-query -graph edges.txt -k 4                        # in-process, no servers needed
+//	dsr-query -graph edges.txt -k 4 -partitioner locality  # boundary-minimizing partitions
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -27,22 +31,28 @@ import (
 
 	"dsr/internal/core"
 	"dsr/internal/graph"
+	"dsr/internal/partition/locality"
 )
 
 func main() {
 	log.SetPrefix("dsr-query: ")
 	log.SetFlags(0)
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
-		shards    = flag.String("shards", "", "comma-separated shard addresses (shard i at position i); empty runs in-process")
-		k         = flag.Int("k", 4, "partition count for in-process mode (ignored with -shards)")
-		batch     = flag.Bool("batch", false, "read all queries first and answer them as one batch")
+		graphPath   = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
+		shards      = flag.String("shards", "", "comma-separated shard addresses (shard i at position i); empty runs in-process")
+		k           = flag.Int("k", 4, "partition count for in-process mode (ignored with -shards)")
+		batch       = flag.Bool("batch", false, "read all queries first and answer them as one batch")
+		partitioner = flag.String("partitioner", "hash", "partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N]; with -shards it must match the servers'")
 	)
 	flag.Parse()
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "dsr-query: -graph is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	strat, err := locality.ParseSpec(*partitioner)
+	if err != nil {
+		log.Fatalf("-partitioner: %v", err)
 	}
 
 	g, err := graph.LoadEdgeListFile(*graphPath)
@@ -52,59 +62,83 @@ func main() {
 	var eng *core.Engine
 	if *shards != "" {
 		addrs := strings.Split(*shards, ",")
-		eng, err = core.NewDistributed(g, addrs...)
+		eng, err = core.NewDistributedWithPartitioner(g, strat, addrs...)
 		if err != nil {
 			log.Fatalf("connect shards: %v", err)
 		}
-		log.Printf("connected to %d shards, %d boundary vertices", eng.NumPartitions(), eng.NumBoundary())
+		log.Printf("connected to %d shards (%s-partitioned), %d boundary vertices",
+			eng.NumPartitions(), strat.Name(), eng.NumBoundary())
 	} else {
-		eng, err = core.New(g, *k)
+		eng, err = core.NewWithPartitioner(g, *k, strat)
 		if err != nil {
 			log.Fatalf("build engine: %v", err)
 		}
-		log.Printf("in-process engine: %d partitions, %d boundary vertices", eng.NumPartitions(), eng.NumBoundary())
+		log.Printf("in-process engine: %d %s-partitioned partitions, %d boundary vertices",
+			eng.NumPartitions(), strat.Name(), eng.NumBoundary())
 	}
-	defer eng.Close()
+	// No defer: os.Exit skips deferred calls, so close explicitly.
+	code := runQueries(eng, os.Stdin, os.Stdout, os.Stderr, *batch)
+	eng.Close()
+	os.Exit(code)
+}
 
-	in := bufio.NewScanner(os.Stdin)
-	in.Buffer(make([]byte, 1<<20), 1<<20)
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
+// runQueries drives one query session: reads queries from in, writes
+// answers to out and per-line problems to errw, and returns the process
+// exit code — 0 only if every line parsed and every query was answered.
+// Malformed lines are skipped (with a per-line error naming the line
+// number), not fatal: the remaining well-formed queries still get
+// answers, but the exit code turns non-zero so callers can't mistake a
+// partially-processed workload for a clean run.
+func runQueries(eng *core.Engine, in io.Reader, out, errw io.Writer, batch bool) int {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(out)
+	defer w.Flush()
 
 	var queries []core.Query
-	lineno := 0
-	for in.Scan() {
+	lineno, badLines := 0, 0
+	for sc.Scan() {
 		lineno++
-		line := strings.TrimSpace(in.Text())
+		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		q, err := parseQuery(line)
 		if err != nil {
-			log.Fatalf("line %d: %v", lineno, err)
+			fmt.Fprintf(errw, "dsr-query: line %d: %v\n", lineno, err)
+			badLines++
+			continue
 		}
-		if *batch {
+		if batch {
 			queries = append(queries, q)
 			continue
 		}
 		ans, err := eng.QueryBatchErr([]core.Query{q})
 		if err != nil {
-			log.Fatalf("query failed: %v", err)
+			fmt.Fprintf(errw, "dsr-query: query failed: %v\n", err)
+			return 1
 		}
-		fmt.Fprintln(out, ans[0])
+		fmt.Fprintln(w, ans[0])
 	}
-	if err := in.Err(); err != nil {
-		log.Fatalf("read stdin: %v", err)
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(errw, "dsr-query: read input: %v\n", err)
+		return 1
 	}
-	if *batch && len(queries) > 0 {
+	if batch && len(queries) > 0 {
 		answers, err := eng.QueryBatchErr(queries)
 		if err != nil {
-			log.Fatalf("batch failed: %v", err)
+			fmt.Fprintf(errw, "dsr-query: batch failed: %v\n", err)
+			return 1
 		}
 		for _, a := range answers {
-			fmt.Fprintln(out, a)
+			fmt.Fprintln(w, a)
 		}
 	}
+	if badLines > 0 {
+		fmt.Fprintf(errw, "dsr-query: %d malformed line(s) skipped\n", badLines)
+		return 1
+	}
+	return 0
 }
 
 // parseQuery parses "s1 s2 ... | t1 t2 ..." into a Query.

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsr/internal/core"
+	"dsr/internal/graph"
+)
+
+func tinyEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	g, err := graph.LoadEdgeListFile(filepath.Join("..", "..", "internal", "graph", "testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+// TestRunQueriesMalformedLines: a malformed query line must produce a
+// per-line error on stderr and a non-zero exit code — in both modes —
+// while the well-formed queries around it still get answers. (The old
+// behavior died on the first bad line, losing the rest of the
+// workload; worse, a pipeline reading only stdout had no per-line
+// indication of *which* input was dropped.)
+func TestRunQueriesMalformedLines(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		eng := tinyEngine(t)
+		in := strings.NewReader(strings.Join([]string{
+			"0 | 7",        // valid: true
+			"no pipe here", // malformed: no separator
+			"1 2 | x",      // malformed: bad vertex
+			"7 | 0",        // valid: false
+		}, "\n"))
+		var out, errw strings.Builder
+		code := runQueries(eng, in, &out, &errw, batch)
+		if code == 0 {
+			t.Errorf("batch=%v: exit code 0 despite malformed lines", batch)
+		}
+		if got, want := out.String(), "true\nfalse\n"; got != want {
+			t.Errorf("batch=%v: stdout = %q, want %q", batch, got, want)
+		}
+		stderr := errw.String()
+		for _, want := range []string{"line 2", "line 3", "2 malformed line(s)"} {
+			if !strings.Contains(stderr, want) {
+				t.Errorf("batch=%v: stderr missing %q:\n%s", batch, want, stderr)
+			}
+		}
+	}
+}
+
+func TestRunQueriesCleanInput(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		eng := tinyEngine(t)
+		in := strings.NewReader("# comment\n\n0 | 7\n4 | 4\n")
+		var out, errw strings.Builder
+		if code := runQueries(eng, in, &out, &errw, batch); code != 0 {
+			t.Errorf("batch=%v: exit code %d on clean input, stderr: %s", batch, code, errw.String())
+		}
+		if got, want := out.String(), "true\ntrue\n"; got != want {
+			t.Errorf("batch=%v: stdout = %q, want %q", batch, got, want)
+		}
+		if errw.Len() != 0 {
+			t.Errorf("batch=%v: unexpected stderr: %s", batch, errw.String())
+		}
+	}
+}

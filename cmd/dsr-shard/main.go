@@ -2,14 +2,15 @@
 // hash-partitions it into the deployment's shard count, extracts and
 // indexes its own partition, and serves local-search RPCs over TCP.
 //
-//	dsr-shard -graph edges.txt -shards 3 -id 0 -listen 127.0.0.1:7000
+//	dsr-shard -graph edges.txt -shards 3 -id 0 -listen 127.0.0.1:7000 -partitioner locality
 //
 // Every shard of a deployment (and the coordinator, see dsr-query or
 // core.NewDistributed) must load the same graph file with the same
-// -shards count: the hash partitioner is deterministic, so all
-// processes agree on vertex placement and local IDs without any
-// coordination traffic. The connect-time handshake rejects clients
-// whose shard count or vertex count disagrees.
+// -shards count and the same -partitioner spec: every partitioner is
+// deterministic, so all processes agree on vertex placement and local
+// IDs without any coordination traffic. The connect-time handshake
+// rejects clients whose shard count, vertex count, graph fingerprint,
+// or partitioning digest disagrees.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"dsr/internal/graph"
 	"dsr/internal/partition"
+	"dsr/internal/partition/locality"
 	"dsr/internal/shard"
 )
 
@@ -28,10 +30,11 @@ func main() {
 	log.SetPrefix("dsr-shard: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
-		numShards = flag.Int("shards", 1, "total shard count of the deployment")
-		shardID   = flag.Int("id", 0, "this shard's index in [0, shards)")
-		listen    = flag.String("listen", "127.0.0.1:7000", "TCP address to serve on")
+		graphPath   = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
+		numShards   = flag.Int("shards", 1, "total shard count of the deployment")
+		shardID     = flag.Int("id", 0, "this shard's index in [0, shards)")
+		listen      = flag.String("listen", "127.0.0.1:7000", "TCP address to serve on")
+		partitioner = flag.String("partitioner", "hash", "partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N]; must match the coordinator's")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -42,21 +45,25 @@ func main() {
 	if *shardID < 0 || *shardID >= *numShards {
 		log.Fatalf("-id %d outside [0, %d)", *shardID, *numShards)
 	}
+	strat, err := locality.ParseSpec(*partitioner)
+	if err != nil {
+		log.Fatalf("-partitioner: %v", err)
+	}
 
 	g, err := graph.LoadEdgeListFile(*graphPath)
 	if err != nil {
 		log.Fatalf("load graph: %v", err)
 	}
-	pt, err := graph.HashPartition(g, *numShards)
+	pt, err := strat.Partition(g, *numShards)
 	if err != nil {
-		log.Fatalf("partition: %v", err)
+		log.Fatalf("partition (%s): %v", strat.Name(), err)
 	}
 	// ExtractOne materializes only this shard's partition: startup memory
 	// scales with the shard's share of the graph, not all k partitions.
 	sub := partition.ExtractOne(g, pt, *shardID)
 	sh := shard.New(*shardID, sub)
-	log.Printf("shard %d/%d: %d of %d vertices, %d entries, %d exits",
-		*shardID, *numShards, sh.NumVertices(), g.NumVertices(),
+	log.Printf("shard %d/%d (%s-partitioned): %d of %d vertices, %d entries, %d exits",
+		*shardID, *numShards, strat.Name(), sh.NumVertices(), g.NumVertices(),
 		len(sub.Entries), len(sub.Exits))
 
 	ln, err := net.Listen("tcp", *listen)
@@ -64,7 +71,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("serving on %s", ln.Addr())
-	srv := shard.NewServer(sh, *numShards, g.NumVertices(), g.Fingerprint())
+	srv := shard.NewServer(sh, *numShards, g.NumVertices(), g.Fingerprint(), pt.Digest())
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
 	}

@@ -32,7 +32,16 @@ type Engine struct {
 // New builds an engine over g split into k hash-partitioned parts and
 // starts its per-partition in-process shards.
 func New(g *graph.Graph, k int) (*Engine, error) {
-	inner, err := dsr.New(g, k)
+	return NewWithPartitioner(g, k, graph.Hash())
+}
+
+// NewWithPartitioner is New with an explicit partitioning strategy —
+// graph.Hash(), graph.Range(), or locality.New(opts) for the
+// boundary-minimizing partitioner. The strategy determines how small
+// the compressed boundary graph comes out, which is what every
+// cross-partition query pays for.
+func NewWithPartitioner(g *graph.Graph, k int, p graph.Partitioner) (*Engine, error) {
+	inner, err := dsr.NewWith(g, k, p)
 	if err != nil {
 		return nil, err
 	}
@@ -55,6 +64,20 @@ func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error
 // the same shard count); the handshake rejects mismatched deployments.
 func NewDistributed(g *graph.Graph, addrs ...string) (*Engine, error) {
 	inner, err := dsr.NewDistributed(g, addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// NewDistributedWithPartitioner is NewDistributed with an explicit
+// partitioning strategy. Every shard server must have been started with
+// the identical strategy (same -partitioner spec, including any
+// locality seed): partitioners are deterministic, so identical specs
+// mean identical placements, and the handshake's partitioning digest
+// rejects anything else.
+func NewDistributedWithPartitioner(g *graph.Graph, p graph.Partitioner, addrs ...string) (*Engine, error) {
+	inner, err := dsr.NewDistributedWith(g, p, addrs)
 	if err != nil {
 		return nil, err
 	}

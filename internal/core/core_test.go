@@ -8,6 +8,7 @@ import (
 
 	"dsr/internal/graph"
 	"dsr/internal/partition"
+	"dsr/internal/partition/locality"
 	"dsr/internal/shard"
 )
 
@@ -64,6 +65,38 @@ func TestFacadeRejectsBadK(t *testing.T) {
 	}
 }
 
+// TestFacadeWithPartitioner: the façade accepts a partitioning strategy
+// and the locality partitioner answers exactly like hash does — it only
+// changes where the boundary lands. On the tiny fixture (two 4-cycles
+// and one bridge) it finds the bridge: 2 boundary vertices vs hash's 7.
+func TestFacadeWithPartitioner(t *testing.T) {
+	g, err := graph.LoadEdgeListFile(filepath.Join("..", "graph", "testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashEng, err := NewWithPartitioner(g, 2, graph.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hashEng.Close()
+	locEng, err := NewWithPartitioner(g, 2, locality.New(locality.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer locEng.Close()
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			S, T := []graph.VertexID{graph.VertexID(s)}, []graph.VertexID{graph.VertexID(d)}
+			if h, l := hashEng.Query(S, T), locEng.Query(S, T); h != l {
+				t.Fatalf("partitioners disagree on %d->%d: hash %v, locality %v", s, d, h, l)
+			}
+		}
+	}
+	if hb, lb := hashEng.NumBoundary(), locEng.NumBoundary(); lb >= hb {
+		t.Errorf("locality boundary %d not smaller than hash %d on the clustered fixture", lb, hb)
+	}
+}
+
 // TestFacadeDistributedTCP drives the distributed entry point: three
 // shard servers on localhost, a NewDistributed coordinator, and both
 // query paths.
@@ -87,7 +120,7 @@ func TestFacadeDistributedTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		addrs = append(addrs, ln.Addr().String())
-		srv := shard.NewServer(shard.New(i, subs[i]), k, g.NumVertices(), g.Fingerprint())
+		srv := shard.NewServer(shard.New(i, subs[i]), k, g.NumVertices(), g.Fingerprint(), pt.Digest())
 		servers = append(servers, srv)
 		wg.Add(1)
 		go func() {

@@ -4,22 +4,31 @@ import (
 	"math/rand"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"dsr/internal/graph"
 	"dsr/internal/partition"
+	"dsr/internal/partition/locality"
 	"dsr/internal/shard"
 )
 
-// bootShardServers launches one TCP shard server per partition of g on
-// ephemeral localhost ports — the same code path as cmd/dsr-shard, in
-// process so the e2e test is hermetic — and returns their addresses
-// plus a stop function that shuts them down and waits.
+// bootShardServers launches one hash-partitioned TCP shard server per
+// partition of g on ephemeral localhost ports; see bootShardServersWith.
 func bootShardServers(t testing.TB, g *graph.Graph, k int) ([]string, func()) {
 	t.Helper()
-	pt, err := graph.HashPartition(g, k)
+	return bootShardServersWith(t, g, k, graph.Hash())
+}
+
+// bootShardServersWith launches one TCP shard server per partition of g
+// on ephemeral localhost ports — the same code path as cmd/dsr-shard,
+// in process so the e2e test is hermetic — and returns their addresses
+// plus a stop function that shuts them down and waits.
+func bootShardServersWith(t testing.TB, g *graph.Graph, k int, strat graph.Partitioner) ([]string, func()) {
+	t.Helper()
+	pt, err := strat.Partition(g, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +42,7 @@ func bootShardServers(t testing.TB, g *graph.Graph, k int) ([]string, func()) {
 			t.Fatal(err)
 		}
 		addrs[i] = ln.Addr().String()
-		srv := shard.NewServer(shard.New(i, subs[i]), k, g.NumVertices(), g.Fingerprint())
+		srv := shard.NewServer(shard.New(i, subs[i]), k, g.NumVertices(), g.Fingerprint(), pt.Digest())
 		servers[i] = srv
 		wg.Add(1)
 		go func() {
@@ -54,18 +63,22 @@ func bootShardServers(t testing.TB, g *graph.Graph, k int) ([]string, func()) {
 // TestDistributedTCPDifferential is the end-to-end check over real TCP:
 // k >= 3 shard server processes (in-process goroutines running the same
 // server code as cmd/dsr-shard) on localhost, a coordinator built with
-// NewDistributed, and randomized differential comparison of both Query
-// and QueryBatch against the whole-graph oracle.
+// NewDistributedWith, and randomized differential comparison of both
+// Query and QueryBatch against the whole-graph oracle — for both the
+// hash and the locality partitioner (shards and coordinator agreeing on
+// the strategy each time).
 func TestDistributedTCPDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
+	strategies := []graph.Partitioner{graph.Hash(), locality.New(locality.Options{Seed: 20260730})}
 	for _, k := range []int{3, 5} {
 		for gi := 0; gi < 6; gi++ {
 			n := 10 + rng.Intn(120)
 			deg := []float64{0.5, 1, 2, 4}[rng.Intn(4)]
 			g := randomGraph(rng, n, deg)
-			addrs, stop := bootShardServers(t, g, k)
+			strat := strategies[gi%len(strategies)]
+			addrs, stop := bootShardServersWith(t, g, k, strat)
 
-			e, err := NewDistributed(g, addrs)
+			e, err := NewDistributedWith(g, strat, addrs)
 			if err != nil {
 				stop()
 				t.Fatal(err)
@@ -101,6 +114,35 @@ func TestDistributedTCPDifferential(t *testing.T) {
 			stop()
 		}
 	}
+}
+
+// TestDistributedTCPPartitionerMismatch: a coordinator whose
+// partitioner disagrees with the shards' must be refused at connect
+// time — a silent placement disagreement would mean wrong answers, not
+// errors.
+func TestDistributedTCPPartitionerMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomGraph(rng, 60, 2)
+	addrs, stop := bootShardServersWith(t, g, 3, graph.Hash())
+	defer stop()
+	if _, err := NewDistributedWith(g, locality.New(locality.Options{}), addrs); err == nil ||
+		!strings.Contains(err.Error(), "different partitioning") {
+		t.Fatalf("hash shards + locality coordinator not rejected: %v", err)
+	}
+	// Same partitioner family, different seed: still a different
+	// placement, still rejected.
+	addrs2, stop2 := bootShardServersWith(t, g, 3, locality.New(locality.Options{Seed: 1}))
+	defer stop2()
+	if _, err := NewDistributedWith(g, locality.New(locality.Options{Seed: 2}), addrs2); err == nil ||
+		!strings.Contains(err.Error(), "different partitioning") {
+		t.Fatalf("locality seed mismatch not rejected: %v", err)
+	}
+	// And the matching seed connects fine.
+	e, err := NewDistributedWith(g, locality.New(locality.Options{Seed: 1}), addrs2)
+	if err != nil {
+		t.Fatalf("matching locality deployment refused: %v", err)
+	}
+	e.Close()
 }
 
 // TestDistributedTCPServerLoss asserts a coordinator surfaces shard

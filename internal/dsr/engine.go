@@ -251,7 +251,16 @@ type Engine struct {
 // deterministic hash partitioner, running on an in-process Loopback
 // transport (one goroutine shard per partition).
 func New(g *graph.Graph, k int) (*Engine, error) {
-	pt, err := graph.HashPartition(g, k)
+	return NewWith(g, k, graph.Hash())
+}
+
+// NewWith is New with an explicit partitioning strategy (graph.Hash,
+// graph.Range, or locality.New): the strategy decides which vertices
+// are boundary vertices, and therefore how small the boundary graph —
+// the part of the system every cross-partition query pays for — comes
+// out.
+func NewWith(g *graph.Graph, k int, p graph.Partitioner) (*Engine, error) {
+	pt, err := p.Partition(g, k)
 	if err != nil {
 		return nil, err
 	}
@@ -276,22 +285,30 @@ func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error
 
 // NewDistributed builds a coordinator over g hash-partitioned into
 // len(addrs) parts, where partition i is served by the shard server at
+// addrs[i]. See NewDistributedWith for the contract.
+func NewDistributed(g *graph.Graph, addrs []string) (*Engine, error) {
+	return NewDistributedWith(g, graph.Hash(), addrs)
+}
+
+// NewDistributedWith builds a coordinator over g partitioned by p into
+// len(addrs) parts, where partition i is served by the shard server at
 // addrs[i]. The coordinator builds the boundary graph locally (it has
 // the full graph anyway) and verifies during the handshake that every
-// shard was built for the same shard count and vertex count; the
-// deterministic hash partitioner guarantees both sides agree on vertex
-// placement and local IDs when they load the same graph.
-func NewDistributed(g *graph.Graph, addrs []string) (*Engine, error) {
+// shard was built for the same shard count, vertex count, graph
+// fingerprint, and — because every Partitioner is deterministic — the
+// same partitioning digest, so both sides agree on vertex placement and
+// local IDs without shipping any placement data.
+func NewDistributedWith(g *graph.Graph, p graph.Partitioner, addrs []string) (*Engine, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dsr: no shard addresses")
 	}
-	pt, err := graph.HashPartition(g, len(addrs))
+	pt, err := p.Partition(g, len(addrs))
 	if err != nil {
 		return nil, err
 	}
 	subs, local := partition.Extract(g, pt)
 	bg := buildBoundaryGraph(g, pt, subs)
-	cl, err := shard.Dial(addrs, g.NumVertices(), g.Fingerprint())
+	cl, err := shard.Dial(addrs, g.NumVertices(), g.Fingerprint(), pt.Digest())
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dsr/internal/graph"
+	"dsr/internal/partition/locality"
 )
 
 func build(n int, edges [][2]graph.VertexID) *graph.Graph {
@@ -74,8 +75,9 @@ func randomSet(rng *rand.Rand, n, maxSize int) []graph.VertexID {
 }
 
 // TestQueryDifferential compares the partitioned engine against the
-// whole-graph BFS oracle on randomized graphs and query sets. Fixed seed
-// keeps failures reproducible.
+// whole-graph BFS oracle on randomized graphs and query sets, across
+// all three partitioners (hash, range, locality). Fixed seed keeps
+// failures reproducible.
 func TestQueryDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260728))
 	const graphs = 120
@@ -88,10 +90,13 @@ func TestQueryDifferential(t *testing.T) {
 		k := 2 + rng.Intn(4) // always >= 2 partitions
 		var pt *graph.Partitioning
 		var err error
-		if rng.Intn(2) == 0 {
+		switch gi % 3 {
+		case 0:
 			pt, err = graph.HashPartition(g, k)
-		} else {
+		case 1:
 			pt, err = graph.RangePartition(g, k)
+		case 2:
+			pt, err = locality.Partition(g, k, locality.Options{Seed: int64(gi)})
 		}
 		if err != nil {
 			t.Fatal(err)

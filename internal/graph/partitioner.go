@@ -19,6 +19,36 @@ type Partitioning struct {
 	Exit  []bool
 }
 
+// Digest returns a deterministic FNV-1a digest of the partition
+// assignment (K and every vertex's label). Coordinator and shard
+// exchange it during the connect-time handshake, so two processes that
+// picked different partitioners — or the same locality partitioner with
+// different seeds — refuse each other instead of silently disagreeing
+// about vertex placement. 0 is never returned, so a digest can always
+// be distinguished from "not computed".
+func (p *Partitioning) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xFF
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(p.K))
+	for _, l := range p.Part {
+		mix(uint64(uint32(l)))
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
 // IsBoundary reports whether v has any cross-partition edge. On a
 // hand-rolled Partitioning whose Entry/Exit marks were never computed
 // (PartitionWith fills them), absent marks read as non-boundary rather
@@ -37,6 +67,36 @@ func (p *Partitioning) NumBoundary() int {
 	}
 	return c
 }
+
+// Partitioner is a strategy for splitting a graph into k parts. All
+// implementations must be deterministic — the distributed deployment
+// relies on coordinator and shards computing identical placements from
+// the same graph — and Name identifies the strategy in logs and CLI
+// flags. Hash and Range live here; the locality-aware partitioner is
+// partition/locality.New (it needs the whole edge set, not just a
+// per-vertex function).
+type Partitioner interface {
+	Name() string
+	Partition(g *Graph, k int) (*Partitioning, error)
+}
+
+// funcPartitioner adapts a stateless PartitionFunc to the Partitioner
+// interface.
+type funcPartitioner struct {
+	name string
+	fn   PartitionFunc
+}
+
+func (p funcPartitioner) Name() string { return p.name }
+func (p funcPartitioner) Partition(g *Graph, k int) (*Partitioning, error) {
+	return PartitionWith(g, k, p.fn)
+}
+
+// Hash returns the deterministic multiplicative-hash Partitioner.
+func Hash() Partitioner { return funcPartitioner{"hash", HashPartitionFunc} }
+
+// Range returns the contiguous-vertex-range Partitioner.
+func Range() Partitioner { return funcPartitioner{"range", RangePartitionFunc} }
 
 // PartitionFunc maps a vertex to a partition in [0, k) given the total
 // vertex count n. It must be deterministic.

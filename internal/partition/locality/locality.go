@@ -1,0 +1,408 @@
+// Package locality implements a locality-aware graph partitioner: a
+// multilevel scheme that minimizes the number of boundary vertices (and
+// cut edges), which is exactly what the DSR boundary graph's size — and
+// therefore cross-partition query traffic — depends on. Hash
+// partitioning makes nearly every vertex a boundary vertex on graphs
+// with community structure; this partitioner finds the communities.
+//
+// Three phases, all deterministic for a fixed Options.Seed:
+//
+//  1. Coarsening — iterative label propagation (LPA): every vertex
+//     repeatedly adopts the most frequent label among its undirected
+//     neighbors, subject to a cluster-size cap so no cluster outgrows a
+//     partition. Rounds visit vertices in a seeded random order (LPA
+//     degenerates badly under a fixed scan order) and stop early when a
+//     round moves nothing.
+//  2. Cluster placement — greedy bin-packing of clusters onto the k
+//     partitions, largest cluster first, each placed on the partition
+//     it shares the most edge weight with among those with room
+//     (clusters that fit nowhere whole are split vertex-by-vertex, so
+//     the size cap holds unconditionally).
+//  3. Refinement — Fiduccia–Mattheyses-style single-vertex moves: passes
+//     over the vertices move any vertex whose cut-edge gain (cross
+//     edges removed minus cross edges added) is strictly positive and
+//     whose destination partition has room, until a pass moves nothing.
+//
+// The output is an ordinary *graph.Partitioning, so everything
+// downstream (subgraph extraction, boundary compression, shards) is
+// untouched; New adapts it to the graph.Partitioner interface used by
+// core and the CLIs.
+package locality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dsr/internal/graph"
+)
+
+// Options tunes the partitioner. The zero value selects defaults; all
+// fields are optional.
+type Options struct {
+	// Seed drives vertex visit order and tie-breaking. Coordinator and
+	// shards must use the same seed (the handshake's partitioning digest
+	// catches disagreement). Default 0 is a valid seed.
+	Seed int64
+	// Rounds caps LPA iterations. Default 10.
+	Rounds int
+	// Balance caps partition (and cluster) size at Balance * n/k.
+	// Default 1.15. Values <= 1 would make exact packing impossible and
+	// are rejected.
+	Balance float64
+	// RefinePasses caps refinement sweeps. Default 6; 0 means default,
+	// negative disables refinement.
+	RefinePasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds == 0 {
+		o.Rounds = 10
+	}
+	if o.Balance == 0 {
+		o.Balance = 1.15
+	}
+	if o.RefinePasses == 0 {
+		o.RefinePasses = 6
+	}
+	return o
+}
+
+// partitioner adapts Partition to graph.Partitioner.
+type partitioner struct{ opts Options }
+
+// New returns a graph.Partitioner running the locality-aware scheme
+// with the given options.
+func New(opts Options) graph.Partitioner { return partitioner{opts} }
+
+func (p partitioner) Name() string { return "locality" }
+func (p partitioner) Partition(g *graph.Graph, k int) (*graph.Partitioning, error) {
+	return Partition(g, k, p.opts)
+}
+
+// Partition splits g into k parts, minimizing boundary vertices and cut
+// edges. It is deterministic for fixed (g, k, opts).
+func Partition(g *graph.Graph, k int, opts Options) (*graph.Partitioning, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("locality: partition count must be >= 1, got %d", k)
+	}
+	opts = opts.withDefaults()
+	if opts.Balance <= 1 {
+		return nil, fmt.Errorf("locality: balance must be > 1, got %g", opts.Balance)
+	}
+	if opts.Rounds < 1 {
+		return nil, fmt.Errorf("locality: rounds must be >= 1, got %d", opts.Rounds)
+	}
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	if k == 1 || n == 0 {
+		// Single partition (or empty graph): nothing to optimize.
+		return finish(g, k, labels)
+	}
+	// capacity is the hard per-partition (and per-cluster: a cluster
+	// larger than a partition could never be placed) size cap. It is
+	// always >= ceil(n/k), so packing every vertex is always possible.
+	capacity := int32(math.Ceil(opts.Balance * float64(n) / float64(k)))
+	if ideal := int32((n + k - 1) / k); capacity < ideal {
+		capacity = ideal
+	}
+
+	rng := newSplitMix(uint64(opts.Seed))
+	coarsen(g, labels, capacity, opts.Rounds, rng)
+	part := pack(g, labels, k, capacity)
+	if opts.RefinePasses > 0 {
+		refine(g, part, k, capacity, opts.RefinePasses)
+	}
+	return finish(g, k, part)
+}
+
+// finish runs the labels through graph.PartitionWith, which validates
+// them and computes the entry/exit boundary marks from the edge set.
+func finish(g *graph.Graph, k int, part []int32) (*graph.Partitioning, error) {
+	return graph.PartitionWith(g, k, func(v graph.VertexID, _, _ int) int32 { return part[v] })
+}
+
+// coarsen runs capped label propagation over the undirected view of g,
+// leaving the cluster label of every vertex in labels. Labels are drawn
+// from the vertex-ID space (a cluster is named after some member).
+func coarsen(g *graph.Graph, labels []int32, capacity int32, rounds int, rng *splitMix) {
+	n := len(labels)
+	for v := range labels {
+		labels[v] = int32(v)
+	}
+	size := make([]int32, n) // cluster label -> member count
+	for v := range size {
+		size[v] = 1
+	}
+	// count is an epoch-free scratch: count[l] is only meaningful for
+	// labels recorded in touched, and is re-zeroed after every vertex.
+	count := make([]int32, n)
+	touched := make([]int32, 0, 64)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for round := 0; round < rounds; round++ {
+		rng.shuffle(order)
+		moved := 0
+		for _, v := range order {
+			cur := labels[v]
+			touched = touched[:0]
+			for _, w := range g.Out(graph.VertexID(v)) {
+				if int32(w) == v {
+					continue
+				}
+				l := labels[w]
+				if count[l] == 0 {
+					touched = append(touched, l)
+				}
+				count[l]++
+			}
+			for _, w := range g.In(graph.VertexID(v)) {
+				if int32(w) == v {
+					continue
+				}
+				l := labels[w]
+				if count[l] == 0 {
+					touched = append(touched, l)
+				}
+				count[l]++
+			}
+			// Pick the heaviest neighbor label with room; prefer the
+			// current label on ties (stability), then the smallest label
+			// (determinism regardless of visit order).
+			best, bestCount := cur, count[cur]
+			for _, l := range touched {
+				if l == cur || size[l] >= capacity {
+					continue
+				}
+				c := count[l]
+				// Only a strictly heavier label displaces the current one
+				// (stability); among equally-heavy challengers the smallest
+				// label wins (determinism regardless of visit order).
+				if c > bestCount || (c == bestCount && best != cur && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			for _, l := range touched {
+				count[l] = 0
+			}
+			if best != cur {
+				size[cur]--
+				size[best]++
+				labels[v] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// pack densifies the cluster labels and greedily bin-packs clusters
+// onto k partitions: clusters in decreasing size order, each placed on
+// the partition it shares the most inter-cluster edge weight with among
+// partitions with room. A cluster no partition can hold whole (packing
+// fragmentation) is split across least-loaded partitions vertex by
+// vertex, so the capacity cap holds unconditionally. Returns the
+// per-vertex partition assignment.
+func pack(g *graph.Graph, labels []int32, k int, capacity int32) []int32 {
+	n := len(labels)
+	// Densify cluster IDs.
+	dense := make([]int32, n) // label -> dense cluster id, lazily assigned
+	for i := range dense {
+		dense[i] = -1
+	}
+	var sizes []int32
+	cluster := make([]int32, n) // vertex -> dense cluster id
+	for v := 0; v < n; v++ {
+		l := labels[v]
+		if dense[l] < 0 {
+			dense[l] = int32(len(sizes))
+			sizes = append(sizes, 0)
+		}
+		cluster[v] = dense[l]
+		sizes[cluster[v]]++
+	}
+	nc := len(sizes)
+
+	// Inter-cluster edge weights, as adjacency lists (a -> (b, weight)).
+	type cnbr struct {
+		to int32
+		w  int64
+	}
+	weight := map[uint64]int64{}
+	g.Edges(func(u, v graph.VertexID) {
+		a, b := cluster[u], cluster[v]
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		weight[uint64(a)<<32|uint64(uint32(b))]++
+	})
+	cadj := make([][]cnbr, nc)
+	for key, w := range weight {
+		a, b := int32(key>>32), int32(uint32(key))
+		cadj[a] = append(cadj[a], cnbr{b, w})
+		cadj[b] = append(cadj[b], cnbr{a, w})
+	}
+
+	// Largest-first placement. Sorting is (size desc, id asc): fully
+	// deterministic, and big clusters claim whole partitions before the
+	// remnants are used as filler.
+	orderC := make([]int32, nc)
+	for i := range orderC {
+		orderC[i] = int32(i)
+	}
+	sort.Slice(orderC, func(i, j int) bool {
+		a, b := orderC[i], orderC[j]
+		if sizes[a] != sizes[b] {
+			return sizes[a] > sizes[b]
+		}
+		return a < b
+	})
+	assign := make([]int32, nc)
+	for i := range assign {
+		assign[i] = -1
+	}
+	load := make([]int32, k)
+	aff := make([]int64, k)
+	for _, c := range orderC {
+		for p := range aff {
+			aff[p] = 0
+		}
+		for _, nb := range cadj[c] {
+			if a := assign[nb.to]; a >= 0 {
+				aff[a] += nb.w
+			}
+		}
+		best := int32(-1)
+		for p := 0; p < k; p++ {
+			if load[p]+sizes[c] > capacity {
+				continue
+			}
+			if best < 0 || aff[p] > aff[best] ||
+				(aff[p] == aff[best] && load[p] < load[best]) {
+				best = int32(p)
+			}
+		}
+		// best < 0 means bin-packing fragmentation: every partition has
+		// room left, just not sizes[c] of it in one place (e.g. three
+		// size-4 clusters into two capacity-7 partitions). The cluster is
+		// split vertex-by-vertex below instead of dumped whole onto one
+		// partition, which would silently blow the Balance cap.
+		if best >= 0 {
+			assign[c] = best
+			load[best] += sizes[c]
+		}
+	}
+	part := make([]int32, n)
+	for v := 0; v < n; v++ {
+		c := cluster[v]
+		if assign[c] >= 0 {
+			part[v] = assign[c]
+			continue
+		}
+		// Split-cluster vertex: least-loaded partition with room. One
+		// always exists — capacity >= ceil(n/k), so all k partitions at
+		// capacity would already hold every vertex.
+		best := int32(-1)
+		for p := int32(0); p < int32(k); p++ {
+			if load[p] < capacity && (best < 0 || load[p] < load[best]) {
+				best = p
+			}
+		}
+		part[v] = best
+		load[best]++
+	}
+	return part
+}
+
+// refine performs FM-style single-vertex moves over the undirected view:
+// a vertex moves to the partition holding most of its neighbors when
+// that strictly reduces the number of cut edges and the destination has
+// room. Each pass scans vertices in ID order; passes stop early once
+// nothing moves. Total cut weight strictly decreases with every move,
+// so termination is guaranteed without FM's tenure bookkeeping.
+func refine(g *graph.Graph, part []int32, k int, capacity int32, passes int) {
+	n := len(part)
+	load := make([]int32, k)
+	for _, p := range part {
+		load[p]++
+	}
+	ext := make([]int64, k) // neighbors of v per partition, rebuilt per vertex
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for v := 0; v < n; v++ {
+			p := part[v]
+			for q := range ext {
+				ext[q] = 0
+			}
+			deg := 0
+			for _, w := range g.Out(graph.VertexID(v)) {
+				if int(w) != v {
+					ext[part[w]]++
+					deg++
+				}
+			}
+			for _, w := range g.In(graph.VertexID(v)) {
+				if int(w) != v {
+					ext[part[w]]++
+					deg++
+				}
+			}
+			if deg == 0 || int64(deg) == ext[p] {
+				continue // isolated, or fully internal already
+			}
+			best, bestGain := p, int64(0)
+			for q := int32(0); q < int32(k); q++ {
+				if q == p || load[q]+1 > capacity {
+					continue
+				}
+				// gain = cut edges removed - cut edges added when v moves
+				// p -> q: edges to q stop being cut, edges to p start.
+				if gain := ext[q] - ext[p]; gain > bestGain {
+					best, bestGain = q, gain
+				}
+			}
+			if best != p {
+				load[p]--
+				load[best]++
+				part[v] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// splitMix is a tiny deterministic PRNG (splitmix64) used for visit
+// order shuffles; math/rand would also work, but an explicit generator
+// makes the determinism contract obvious and dependency-free.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix {
+	// Avoid the all-zero fixed point families by pre-mixing the seed.
+	return &splitMix{state: seed + 0x9E3779B97F4A7C15}
+}
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// shuffle is a Fisher–Yates shuffle driven by next().
+func (s *splitMix) shuffle(xs []int32) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := int(s.next() % uint64(i+1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,74 @@
+package locality
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dsr/internal/graph"
+)
+
+// ParseSpec resolves a -partitioner flag value to a Partitioner:
+//
+//	hash
+//	range
+//	locality
+//	locality:seed=7,rounds=12,balance=1.2,refine=4
+//
+// Every process of a deployment must pass the identical spec — the
+// partitioners are deterministic, so identical specs mean identical
+// placements, and the handshake's partitioning digest rejects anything
+// else. refine=-1 disables refinement (0 keeps the default).
+func ParseSpec(spec string) (graph.Partitioner, error) {
+	name, rest, hasOpts := strings.Cut(spec, ":")
+	switch name {
+	case "hash":
+		if hasOpts {
+			return nil, fmt.Errorf("partitioner %q takes no options", name)
+		}
+		return graph.Hash(), nil
+	case "range":
+		if hasOpts {
+			return nil, fmt.Errorf("partitioner %q takes no options", name)
+		}
+		return graph.Range(), nil
+	case "locality":
+		opts, err := parseOpts(rest)
+		if err != nil {
+			return nil, err
+		}
+		return New(opts), nil
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q (want hash, range, or locality[:k=v,...])", name)
+	}
+}
+
+func parseOpts(s string) (Options, error) {
+	var opts Options
+	if s == "" {
+		return opts, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return opts, fmt.Errorf("locality option %q: want key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			opts.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "rounds":
+			opts.Rounds, err = strconv.Atoi(val)
+		case "refine":
+			opts.RefinePasses, err = strconv.Atoi(val)
+		case "balance":
+			opts.Balance, err = strconv.ParseFloat(val, 64)
+		default:
+			return opts, fmt.Errorf("unknown locality option %q (want seed, rounds, refine, or balance)", key)
+		}
+		if err != nil {
+			return opts, fmt.Errorf("locality option %q: %v", kv, err)
+		}
+	}
+	return opts, nil
+}

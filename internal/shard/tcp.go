@@ -35,19 +35,23 @@ type Server struct {
 }
 
 // NewServer returns a server for sh. numShards and numVertices describe
-// the whole deployment and graphSum fingerprints the exact edge set the
-// shard was built from (graph.Fingerprint; 0 disables the check); all
-// three are echoed in the hello frame so a coordinator built from a
-// different graph or partitioning can refuse the shard instead of
+// the whole deployment, graphSum fingerprints the exact edge set the
+// shard was built from (graph.Fingerprint), and partSum digests the
+// vertex-to-partition assignment (graph.Partitioning.Digest) — the
+// check that catches a coordinator running a different partitioner (or
+// the same locality partitioner with a different seed) over the same
+// graph. 0 disables either check. All of it is echoed in the hello
+// frame so a mismatched coordinator refuses the shard instead of
 // silently mis-answering.
-func NewServer(sh *Shard, numShards, numVertices int, graphSum uint64) *Server {
+func NewServer(sh *Shard, numShards, numVertices int, graphSum, partSum uint64) *Server {
 	return &Server{
 		sh: sh,
 		hello: wire.Hello{
-			ShardID:     uint32(sh.ID()),
-			NumShards:   uint32(numShards),
-			NumVertices: uint32(numVertices),
-			Graph:       graphSum,
+			ShardID:      uint32(sh.ID()),
+			NumShards:    uint32(numShards),
+			NumVertices:  uint32(numVertices),
+			Graph:        graphSum,
+			Partitioning: partSum,
 		},
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -201,13 +205,13 @@ type clientConn struct {
 // Dial connects to one shard server per address (addrs[i] must be shard
 // i), verifies each hello against the expected deployment shape, and
 // returns the transport. wantVertices < 0 skips the vertex-count check;
-// wantGraph is the caller's graph fingerprint and 0 skips the
-// edge-set check (either side not computing one opts out, since a
-// server may also send 0).
-func Dial(addrs []string, wantVertices int, wantGraph uint64) (*Client, error) {
+// wantGraph is the caller's graph fingerprint and wantPart its
+// partitioning digest — for either, 0 skips the check (either side not
+// computing one opts out, since a server may also send 0).
+func Dial(addrs []string, wantVertices int, wantGraph, wantPart uint64) (*Client, error) {
 	cl := &Client{}
 	for i, addr := range addrs {
-		cc, err := dialShard(i, addr, len(addrs), wantVertices, wantGraph)
+		cc, err := dialShard(i, addr, len(addrs), wantVertices, wantGraph, wantPart)
 		if err != nil {
 			cl.Close()
 			return nil, err
@@ -217,7 +221,7 @@ func Dial(addrs []string, wantVertices int, wantGraph uint64) (*Client, error) {
 	return cl, nil
 }
 
-func dialShard(i int, addr string, numShards, wantVertices int, wantGraph uint64) (*clientConn, error) {
+func dialShard(i int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64) (*clientConn, error) {
 	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("shard %d (%s): %w", i, addr, err)
@@ -248,6 +252,10 @@ func dialShard(i int, addr string, numShards, wantVertices int, wantGraph uint64
 	if wantGraph != 0 && h.Graph != 0 && h.Graph != wantGraph {
 		c.Close()
 		return nil, fmt.Errorf("shard %d (%s): server built from a different graph (fingerprint %#x, coordinator %#x)", i, addr, h.Graph, wantGraph)
+	}
+	if wantPart != 0 && h.Partitioning != 0 && h.Partitioning != wantPart {
+		c.Close()
+		return nil, fmt.Errorf("shard %d (%s): server built with a different partitioning (digest %#x, coordinator %#x — same -partitioner spec everywhere?)", i, addr, h.Partitioning, wantPart)
 	}
 	c.SetReadDeadline(time.Time{})
 	cc := &clientConn{shard: i, c: c, bw: bufio.NewWriter(c), done: make(chan struct{})}

@@ -11,9 +11,13 @@ import (
 	"dsr/internal/wire"
 )
 
-// testGraphSum stands in for graph.Fingerprint in transport-level
-// tests, which never load a real graph.
-const testGraphSum = 0xFEEDC0DE
+// testGraphSum and testPartSum stand in for graph.Fingerprint and
+// Partitioning.Digest in transport-level tests, which never load a
+// real graph.
+const (
+	testGraphSum = 0xFEEDC0DE
+	testPartSum  = 0xBADC0FFEE
+)
 
 // serveShards boots one TCP server per shard on an ephemeral localhost
 // port and returns their addresses plus a stop function that shuts
@@ -29,7 +33,7 @@ func serveShards(t testing.TB, shards []*Shard, numVertices int) ([]string, func
 			t.Fatal(err)
 		}
 		addrs[i] = ln.Addr().String()
-		srv := NewServer(sh, len(shards), numVertices, testGraphSum)
+		srv := NewServer(sh, len(shards), numVertices, testGraphSum, testPartSum)
 		servers[i] = srv
 		wg.Add(1)
 		go func() {
@@ -52,7 +56,7 @@ func TestTCPTransportMatchesLoopback(t *testing.T) {
 	addrs, stop := serveShards(t, shards, 6)
 	defer stop()
 
-	cl, err := Dial(addrs, 6, testGraphSum)
+	cl, err := Dial(addrs, 6, testGraphSum, testPartSum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,25 +97,31 @@ func TestTCPDialRejectsMismatch(t *testing.T) {
 	defer stop()
 
 	// Wrong vertex count: the coordinator's graph differs.
-	if _, err := Dial(addrs, 7, testGraphSum); err == nil || !strings.Contains(err.Error(), "vertices") {
+	if _, err := Dial(addrs, 7, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "vertices") {
 		t.Fatalf("vertex mismatch not rejected: %v", err)
 	}
 	// Shards wired in the wrong order: identity check must catch it.
 	swapped := []string{addrs[1], addrs[0], addrs[2]}
-	if _, err := Dial(swapped, 6, testGraphSum); err == nil || !strings.Contains(err.Error(), "identifies as") {
+	if _, err := Dial(swapped, 6, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "identifies as") {
 		t.Fatalf("shard order mismatch not rejected: %v", err)
 	}
 	// Wrong shard count: dial only a prefix.
-	if _, err := Dial(addrs[:2], 6, testGraphSum); err == nil || !strings.Contains(err.Error(), "shards") {
+	if _, err := Dial(addrs[:2], 6, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("shard count mismatch not rejected: %v", err)
 	}
 	// Same shape, different edge set: the graph fingerprint catches what
 	// the vertex count cannot.
-	if _, err := Dial(addrs, 6, testGraphSum+1); err == nil || !strings.Contains(err.Error(), "different graph") {
+	if _, err := Dial(addrs, 6, testGraphSum+1, testPartSum); err == nil || !strings.Contains(err.Error(), "different graph") {
 		t.Fatalf("graph fingerprint mismatch not rejected: %v", err)
 	}
-	// Either side opting out (fingerprint 0) skips the check.
-	if cl, err := Dial(addrs, 6, 0); err != nil {
+	// Same graph, different partitioning (e.g. hash vs locality, or two
+	// locality seeds): the partitioning digest catches what the graph
+	// fingerprint cannot.
+	if _, err := Dial(addrs, 6, testGraphSum, testPartSum+1); err == nil || !strings.Contains(err.Error(), "different partitioning") {
+		t.Fatalf("partitioning digest mismatch not rejected: %v", err)
+	}
+	// Either side opting out (fingerprint/digest 0) skips the checks.
+	if cl, err := Dial(addrs, 6, 0, 0); err != nil {
 		t.Fatalf("fingerprint opt-out rejected: %v", err)
 	} else {
 		cl.Close()
@@ -154,7 +164,7 @@ func TestTCPServerRejectsOutOfRangeSeeds(t *testing.T) {
 	addrs, stop := serveShards(t, shards, 6)
 	defer stop()
 
-	cl, err := Dial(addrs, 6, testGraphSum)
+	cl, err := Dial(addrs, 6, testGraphSum, testPartSum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +181,7 @@ func TestTCPClientSubmitAfterServerGone(t *testing.T) {
 	shards, _, local := chainFixture(t)
 	addrs, stop := serveShards(t, shards, 6)
 
-	cl, err := Dial(addrs, 6, testGraphSum)
+	cl, err := Dial(addrs, 6, testGraphSum, testPartSum)
 	if err != nil {
 		stop()
 		t.Fatal(err)
@@ -225,7 +235,7 @@ func TestTCPClientUnsolicitedFrame(t *testing.T) {
 		wire.WriteFrame(c, evil) // unsolicited
 		time.Sleep(2 * time.Second)
 	}()
-	cl, err := Dial([]string{ln.Addr().String()}, 6, 0)
+	cl, err := Dial([]string{ln.Addr().String()}, 6, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +276,7 @@ func TestTCPDialUnreachable(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close()
-	if _, err := Dial([]string{addr}, -1, 0); err == nil {
+	if _, err := Dial([]string{addr}, -1, 0, 0); err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}
 }
@@ -288,7 +298,7 @@ func TestTCPClientCloseFailsPending(t *testing.T) {
 		wire.WriteFrame(c, wire.AppendHello(nil, wire.Hello{ShardID: 0, NumShards: 1, NumVertices: 6}))
 		time.Sleep(5 * time.Second) // never answer
 	}()
-	cl, err := Dial([]string{ln.Addr().String()}, 6, 0)
+	cl, err := Dial([]string{ln.Addr().String()}, 6, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -148,6 +148,33 @@ func FuzzDecodeResults(f *testing.F) {
 	})
 }
 
+// FuzzDecodeHello covers the one decoder that runs against a freshly
+// dialed, completely untrusted peer — whatever is listening on the
+// address gets to pick these bytes. Same contract as the other
+// decoders: never panic, and anything accepted must round-trip.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendHello(nil, Hello{}))
+	f.Add(AppendHello(nil, Hello{
+		ShardID: 2, NumShards: 5, NumVertices: 1 << 30,
+		Graph: 0xFEEDC0DE, Partitioning: 0xBADC0FFEE,
+	}))
+	f.Add([]byte{MsgHello, 0x44, 0x53, 0x52, 0x31}) // magic, then truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHello(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeHello(AppendHello(nil, h))
+		if err != nil {
+			t.Fatalf("re-decode of accepted hello failed: %v", err)
+		}
+		if again != h {
+			t.Fatalf("hello changed across re-encode: %+v vs %+v", h, again)
+		}
+	})
+}
+
 // FuzzReadFrame asserts the framing layer never panics or over-allocates
 // on arbitrary byte streams.
 func FuzzReadFrame(f *testing.F) {

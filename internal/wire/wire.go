@@ -5,8 +5,9 @@
 // types exist:
 //
 //   - MsgHello    — server -> client on connect: shard identity
-//     (shard ID, shard count, vertex count) so a coordinator can refuse
-//     a shard built from a different graph or partitioning.
+//     (shard ID, shard count, vertex count, graph fingerprint,
+//     partitioning digest) so a coordinator can refuse a shard built
+//     from a different graph or partitioned differently.
 //   - MsgTasks    — client -> server: a batch of local-search tasks,
 //     each tagged with the batch-query index it belongs to.
 //   - MsgResults  — server -> client: one result per task, in task
@@ -94,12 +95,17 @@ type Result struct {
 
 // Hello identifies a shard server to a connecting coordinator. Graph
 // is a fingerprint of the exact edge set the shard was built from
-// (graph.Fingerprint); 0 means "not computed" and skips the check.
+// (graph.Fingerprint) and Partitioning a digest of the vertex-to-
+// partition assignment (graph.Partitioning.Digest) — the latter catches
+// two processes that loaded the same graph but partitioned it
+// differently (e.g. hash vs locality, or locality with different
+// seeds). For either, 0 means "not computed" and skips the check.
 type Hello struct {
-	ShardID     uint32
-	NumShards   uint32
-	NumVertices uint32
-	Graph       uint64
+	ShardID      uint32
+	NumShards    uint32
+	NumVertices  uint32
+	Graph        uint64
+	Partitioning uint64
 }
 
 // WriteFrame writes one length-prefixed frame. The payload must be
@@ -160,6 +166,7 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = binary.AppendUvarint(dst, uint64(h.NumShards))
 	dst = binary.AppendUvarint(dst, uint64(h.NumVertices))
 	dst = binary.AppendUvarint(dst, h.Graph)
+	dst = binary.AppendUvarint(dst, h.Partitioning)
 	return dst
 }
 
@@ -187,6 +194,9 @@ func DecodeHello(p []byte) (Hello, error) {
 		return h, err
 	}
 	if h.Graph, p, err = readUint64(p); err != nil {
+		return h, err
+	}
+	if h.Partitioning, p, err = readUint64(p); err != nil {
 		return h, err
 	}
 	if len(p) != 0 {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// gatedMetrics are the metrics the regression gate enforces. Throughput
+// (ns/op) and allocation count (allocs/op) regressions are what CI must
+// catch; B/op tracks allocs/op closely and custom metrics (boundary,
+// cutedges, ...) are quality numbers whose "direction of bad" the gate
+// cannot know.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+// regression is one metric of one benchmark exceeding tolerance.
+type regression struct {
+	Key    string
+	Metric string
+	Old    float64
+	New    float64
+}
+
+// compare checks every gated metric of every benchmark present in both
+// base and next against next <= base*tolerance, and returns the
+// regressions plus the keys of base benchmarks missing from next
+// (renamed or deleted — reported so a rename cannot silently retire a
+// gate, but not failed, since intentional removals are legitimate and
+// re-baselining handles them).
+//
+// Keys are pkg + benchmark name with the -N GOMAXPROCS suffix stripped:
+// the baseline machine and the CI runner may differ in core count, and
+// "BenchmarkQuery-8" vs "BenchmarkQuery-4" are the same benchmark. A
+// baseline metric of exactly 0 (the 0 allocs/op query path) tolerates
+// nothing: any nonzero value is a regression, which is precisely the
+// lock the allocation-free paths want.
+func compare(base, next []result, tolerance float64) (regs []regression, missing []string) {
+	nextByKey := make(map[string]result, len(next))
+	for _, r := range next {
+		nextByKey[benchKey(r)] = r
+	}
+	for _, o := range base {
+		key := benchKey(o)
+		n, ok := nextByKey[key]
+		if !ok {
+			missing = append(missing, key)
+			continue
+		}
+		for _, m := range gatedMetrics {
+			ov, ook := o.Metrics[m]
+			nv, nok := n.Metrics[m]
+			if !ook || !nok {
+				continue
+			}
+			if nv > ov*tolerance {
+				regs = append(regs, regression{Key: key, Metric: m, Old: ov, New: nv})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Key != regs[j].Key {
+			return regs[i].Key < regs[j].Key
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	sort.Strings(missing)
+	return regs, missing
+}
+
+// benchKey identifies a benchmark across machines: package plus name
+// with the trailing -N parallelism suffix removed.
+func benchKey(r result) string {
+	name := r.Name
+	if i := strings.LastIndex(name, "-"); i > 0 && isDigits(name[i+1:]) {
+		name = name[:i]
+	}
+	if r.Pkg == "" {
+		return name
+	}
+	return r.Pkg + "." + name
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// reportCompare renders the comparison for humans and returns the
+// process exit code: 0 when nothing regressed, 1 otherwise.
+func reportCompare(w io.Writer, base, next []result, tolerance float64) int {
+	regs, missing := compare(base, next, tolerance)
+	for _, key := range missing {
+		fmt.Fprintf(w, "benchjson: note: %s in baseline but not in new results (renamed or deleted? re-baseline with `make bench-baseline`)\n", key)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "benchjson: no regressions (%d baseline benchmarks, tolerance %.2fx)\n", len(base), tolerance)
+		return 0
+	}
+	for _, r := range regs {
+		ratio := "inf"
+		if r.Old != 0 {
+			ratio = fmt.Sprintf("%.2fx", r.New/r.Old)
+		}
+		fmt.Fprintf(w, "benchjson: REGRESSION %s %s: %.6g -> %.6g (%s, tolerance %.2fx)\n",
+			r.Key, r.Metric, r.Old, r.New, ratio, tolerance)
+	}
+	fmt.Fprintf(w, "benchjson: %d regression(s); if intentional, re-baseline with `make bench-baseline`\n", len(regs))
+	return 1
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func res(pkg, name string, nsOp, allocsOp float64) result {
+	return result{
+		Name: name, Pkg: pkg, Iterations: 1,
+		Metrics: map[string]float64{"ns/op": nsOp, "allocs/op": allocsOp},
+	}
+}
+
+// TestCompareCatchesSyntheticRegression is the gate's acceptance test:
+// a synthetic 2x ns/op regression must fail at tolerance 1.3, and the
+// unchanged baseline must pass.
+func TestCompareCatchesSyntheticRegression(t *testing.T) {
+	base := []result{
+		res("dsr/internal/dsr", "BenchmarkQuery-8", 35000, 0),
+		res("dsr/internal/dsr", "BenchmarkIndexBuild-8", 1.5e8, 900),
+	}
+	doubled := []result{
+		res("dsr/internal/dsr", "BenchmarkQuery-8", 70000, 0), // 2x ns/op
+		res("dsr/internal/dsr", "BenchmarkIndexBuild-8", 1.5e8, 900),
+	}
+	regs, missing := compare(base, doubled, 1.3)
+	if len(missing) != 0 {
+		t.Errorf("unexpected missing: %v", missing)
+	}
+	if len(regs) != 1 || regs[0].Metric != "ns/op" || !strings.Contains(regs[0].Key, "BenchmarkQuery") {
+		t.Fatalf("2x ns/op regression not caught: %+v", regs)
+	}
+
+	// The identical baseline passes.
+	if regs, _ := compare(base, base, 1.3); len(regs) != 0 {
+		t.Fatalf("baseline vs itself flagged: %+v", regs)
+	}
+	// Small noise within tolerance passes.
+	noisy := []result{
+		res("dsr/internal/dsr", "BenchmarkQuery-8", 40000, 0), // 1.14x
+		res("dsr/internal/dsr", "BenchmarkIndexBuild-8", 1.7e8, 900),
+	}
+	if regs, _ := compare(base, noisy, 1.3); len(regs) != 0 {
+		t.Fatalf("within-tolerance noise flagged: %+v", regs)
+	}
+}
+
+// TestCompareAllocRegression: allocs/op is gated too, and a 0-alloc
+// baseline tolerates no allocation at all — the lock on the
+// allocation-free query path.
+func TestCompareAllocRegression(t *testing.T) {
+	base := []result{res("p", "BenchmarkQuery-8", 1000, 0)}
+	leaky := []result{res("p", "BenchmarkQuery-8", 1000, 1)}
+	regs, _ := compare(base, leaky, 1.3)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("new allocation on 0-alloc baseline not caught: %+v", regs)
+	}
+
+	base = []result{res("p", "BenchmarkIndexBuild-8", 1000, 100)}
+	grown := []result{res("p", "BenchmarkIndexBuild-8", 1000, 400)}
+	if regs, _ := compare(base, grown, 1.3); len(regs) != 1 {
+		t.Fatalf("4x allocs/op regression not caught: %+v", regs)
+	}
+}
+
+// TestCompareKeysAcrossMachines: the -N GOMAXPROCS suffix must not
+// defeat matching (baseline machine and CI runner differ in cores),
+// while genuinely different benchmarks must not collide.
+func TestCompareKeysAcrossMachines(t *testing.T) {
+	base := []result{res("p", "BenchmarkQuery-8", 1000, 0)}
+	next := []result{res("p", "BenchmarkQuery-4", 2500, 0)}
+	regs, missing := compare(base, next, 1.3)
+	if len(missing) != 0 {
+		t.Fatalf("suffix mismatch treated as missing: %v", missing)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regression hidden by suffix mismatch: %+v", regs)
+	}
+	// Sub-benchmarks keep their full path.
+	if k := benchKey(res("p", "BenchmarkPartitionQuality/locality-8", 1, 0)); k != "p.BenchmarkPartitionQuality/locality" {
+		t.Errorf("benchKey = %q", k)
+	}
+	// Same name in different packages must not collide.
+	a := res("pkg/a", "BenchmarkX-2", 100, 0)
+	b := res("pkg/b", "BenchmarkX-2", 100, 0)
+	if benchKey(a) == benchKey(b) {
+		t.Error("cross-package key collision")
+	}
+}
+
+// TestCompareMissingAndExtra: removed benchmarks are reported (not
+// failed); added benchmarks are ignored until baselined.
+func TestCompareMissingAndExtra(t *testing.T) {
+	base := []result{res("p", "BenchmarkGone-8", 1000, 0)}
+	next := []result{res("p", "BenchmarkNew-8", 99999, 50)}
+	regs, missing := compare(base, next, 1.3)
+	if len(regs) != 0 {
+		t.Fatalf("unrelated benchmarks flagged: %+v", regs)
+	}
+	if len(missing) != 1 || missing[0] != "p.BenchmarkGone" {
+		t.Fatalf("missing = %v, want [p.BenchmarkGone]", missing)
+	}
+}
+
+// TestReportCompareExitCodes pins the gate's contract: 0 clean, 1 on
+// regression, and the offender named in the output.
+func TestReportCompareExitCodes(t *testing.T) {
+	base := []result{res("p", "BenchmarkQuery-8", 1000, 0)}
+	var out strings.Builder
+	if code := reportCompare(&out, base, base, 1.3); code != 0 {
+		t.Fatalf("clean compare exit %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	bad := []result{res("p", "BenchmarkQuery-8", 2000, 0)}
+	if code := reportCompare(&out, base, bad, 1.3); code != 1 {
+		t.Fatalf("regressed compare exit %d", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "BenchmarkQuery") {
+		t.Fatalf("report does not name the offender:\n%s", out.String())
+	}
+}
+
+// TestParseBenchRoundTrip pins the text parser the artifacts and the
+// gate both depend on.
+func TestParseBenchRoundTrip(t *testing.T) {
+	const benchOut = `goos: linux
+pkg: dsr/internal/dsr
+BenchmarkQuery-8        	   34054	     35123 ns/op	       0 B/op	       0 allocs/op
+BenchmarkIndexBuild-8   	       7	 151234567 ns/op	 1234567 B/op	     900 allocs/op
+ok  	dsr/internal/dsr	3.1s
+pkg: dsr/internal/partition/locality
+BenchmarkPartitionQuality/locality-8 	      18	  61234567 ns/op	      4730 boundary	      2455 cutedges
+ok  	dsr/internal/partition/locality	2.2s
+`
+	rs, err := parseBench(strings.NewReader(benchOut), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rs), rs)
+	}
+	if rs[0].Pkg != "dsr/internal/dsr" || rs[0].Metrics["ns/op"] != 35123 || rs[0].Metrics["allocs/op"] != 0 {
+		t.Errorf("result 0: %+v", rs[0])
+	}
+	if rs[2].Pkg != "dsr/internal/partition/locality" || rs[2].Metrics["boundary"] != 4730 {
+		t.Errorf("result 2: %+v", rs[2])
+	}
+}

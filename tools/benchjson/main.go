@@ -10,6 +10,17 @@
 // construction) and BENCH_query.json (query paths, including the
 // batched and TCP variants), which CI uploads as workflow artifacts so
 // the perf trajectory is recorded per commit.
+//
+// -compare turns it into the CI benchmark-regression gate:
+//
+//	benchjson -compare baseline.json new.json -tolerance 1.3
+//
+// exits non-zero (printing each offender) when any benchmark present in
+// both files regressed past tolerance on ns/op or allocs/op. Benchmark
+// names are matched with the -N GOMAXPROCS suffix stripped, so a
+// baseline recorded on one machine gates runs on another; `make
+// bench-gate` compares a fresh run against the committed
+// BENCH_baseline/ files and `make bench-baseline` re-records them.
 package main
 
 import (
@@ -17,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -33,7 +45,14 @@ type result struct {
 func main() {
 	only := flag.String("only", "", "keep only benchmarks whose name matches this regexp")
 	not := flag.String("not", "", "drop benchmarks whose name matches this regexp")
+	compareMode := flag.Bool("compare", false, "compare two benchmark JSON files (baseline, new) and exit non-zero on regressions")
+	tolerance := flag.Float64("tolerance", 1.3, "with -compare: fail when new ns/op or allocs/op exceeds baseline by more than this factor")
 	flag.Parse()
+
+	if *compareMode {
+		os.Exit(runCompare(flag.Args(), tolerance))
+	}
+
 	var onlyRe, notRe *regexp.Regexp
 	var err error
 	if *only != "" {
@@ -48,7 +67,77 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	in := bufio.NewScanner(os.Stdin)
+	results, err := parseBench(os.Stdin, onlyRe, notRe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
+
+// runCompare implements the -compare mode. args are the remaining
+// command-line arguments: the two JSON files, optionally followed by
+// more flags (the documented invocation puts -tolerance after the file
+// names, where the flag package stops parsing — so re-parse the tail).
+func runCompare(args []string, tolerance *float64) int {
+	fs := flag.NewFlagSet("benchjson -compare", flag.ContinueOnError)
+	fs.Float64Var(tolerance, "tolerance", *tolerance, "regression tolerance factor")
+	var files []string
+	// Alternate positional/flag parsing so files and flags may interleave.
+	for len(args) > 0 {
+		if strings.HasPrefix(args[0], "-") {
+			if err := fs.Parse(args); err != nil {
+				return 2
+			}
+			args = fs.Args()
+			continue
+		}
+		files = append(files, args[0])
+		args = args[1:]
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two files: baseline.json new.json")
+		return 2
+	}
+	if *tolerance <= 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -tolerance must be > 0")
+		return 2
+	}
+	base, err := loadResults(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	next, err := loadResults(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	return reportCompare(os.Stdout, base, next, *tolerance)
+}
+
+func loadResults(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rs, nil
+}
+
+// parseBench converts `go test -bench` text output into results,
+// keeping only benchmarks passing the only/not filters (either may be
+// nil).
+func parseBench(r io.Reader, onlyRe, notRe *regexp.Regexp) ([]result, error) {
+	in := bufio.NewScanner(r)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	results := []result{}
 	pkg := ""
@@ -89,13 +178,7 @@ func main() {
 		results = append(results, r)
 	}
 	if err := in.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
-		os.Exit(1)
-	}
+	return results, nil
 }
