@@ -17,10 +17,21 @@
 //	dsr-query -graph edges.txt -shards 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -batch
 //	dsr-query -graph edges.txt -k 4                        # in-process, no servers needed
 //	dsr-query -graph edges.txt -k 4 -partitioner locality  # boundary-minimizing partitions
+//
+// Replication: each comma-separated -shards entry may be a '|' group
+// of interchangeable replica servers for that partition
+// ("a:7000|b:7000,c:7001|d:7001"). The coordinator load-balances
+// across replicas, retries mid-query failures on a sibling, and
+// reconnects dead replicas in the background. If every replica of a
+// partition is down, only the queries that needed that partition fail:
+// they print "error" in place of an answer (the outage is detailed
+// once per partition on stderr), the rest of the stream keeps being
+// answered, and the exit code turns non-zero.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,7 +50,7 @@ func main() {
 	log.SetFlags(0)
 	var (
 		graphPath   = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
-		shards      = flag.String("shards", "", "comma-separated shard addresses (shard i at position i); empty runs in-process")
+		shards      = flag.String("shards", "", "comma-separated shard addresses (shard i at position i), each optionally a 'a|b' replica group; empty runs in-process")
 		k           = flag.Int("k", 4, "partition count for in-process mode (ignored with -shards)")
 		batch       = flag.Bool("batch", false, "read all queries first and answer them as one batch")
 		partitioner = flag.String("partitioner", "hash", "partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N]; with -shards it must match the servers'")
@@ -88,12 +99,42 @@ func main() {
 // Malformed lines are skipped (with a per-line error naming the line
 // number), not fatal: the remaining well-formed queries still get
 // answers, but the exit code turns non-zero so callers can't mistake a
-// partially-processed workload for a clean run.
+// partially-processed workload for a clean run. Partial shard outages
+// degrade the same way: queries that needed an unavailable partition
+// print "error" (positions stay aligned with the input), everything
+// else is still answered, and the exit code turns non-zero.
 func runQueries(eng *core.Engine, in io.Reader, out, errw io.Writer, batch bool) int {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	w := bufio.NewWriter(out)
 	defer w.Flush()
+
+	failedQueries := 0
+	// emit answers one batch of queries, printing "error" in place of
+	// answers a partition outage invalidated. It reports false only on
+	// unrecoverable errors (protocol violation, closed transport).
+	emit := func(qs []core.Query) bool {
+		answers, err := eng.QueryBatchErr(qs)
+		var be *core.BatchError
+		if err != nil && !errors.As(err, &be) {
+			fmt.Fprintf(errw, "dsr-query: query failed: %v\n", err)
+			return false
+		}
+		if be != nil {
+			for _, pe := range be.Partitions {
+				fmt.Fprintf(errw, "dsr-query: partition %d unavailable: %v\n", pe.Partition, pe.Err)
+			}
+		}
+		for i := range answers {
+			if be != nil && be.Failed[i] {
+				failedQueries++
+				fmt.Fprintln(w, "error")
+			} else {
+				fmt.Fprintln(w, answers[i])
+			}
+		}
+		return true
+	}
 
 	var queries []core.Query
 	lineno, badLines := 0, 0
@@ -113,29 +154,27 @@ func runQueries(eng *core.Engine, in io.Reader, out, errw io.Writer, batch bool)
 			queries = append(queries, q)
 			continue
 		}
-		ans, err := eng.QueryBatchErr([]core.Query{q})
-		if err != nil {
-			fmt.Fprintf(errw, "dsr-query: query failed: %v\n", err)
+		if !emit([]core.Query{q}) {
 			return 1
 		}
-		fmt.Fprintln(w, ans[0])
+		// Interactive mode answers as it goes: flush per line so a piped
+		// driver sees each answer before sending the next query.
+		w.Flush()
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(errw, "dsr-query: read input: %v\n", err)
 		return 1
 	}
-	if batch && len(queries) > 0 {
-		answers, err := eng.QueryBatchErr(queries)
-		if err != nil {
-			fmt.Fprintf(errw, "dsr-query: batch failed: %v\n", err)
-			return 1
-		}
-		for _, a := range answers {
-			fmt.Fprintln(w, a)
-		}
+	if batch && len(queries) > 0 && !emit(queries) {
+		return 1
 	}
 	if badLines > 0 {
 		fmt.Fprintf(errw, "dsr-query: %d malformed line(s) skipped\n", badLines)
+	}
+	if failedQueries > 0 {
+		fmt.Fprintf(errw, "dsr-query: %d query(ies) failed on unavailable partitions\n", failedQueries)
+	}
+	if badLines > 0 || failedQueries > 0 {
 		return 1
 	}
 	return 0

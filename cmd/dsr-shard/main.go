@@ -1,5 +1,5 @@
 // Command dsr-shard runs one DSR shard server: it loads the graph,
-// hash-partitions it into the deployment's shard count, extracts and
+// partitions it into the deployment's shard count, extracts and
 // indexes its own partition, and serves local-search RPCs over TCP.
 //
 //	dsr-shard -graph edges.txt -shards 3 -id 0 -listen 127.0.0.1:7000 -partitioner locality
@@ -11,14 +11,28 @@
 // IDs without any coordination traffic. The connect-time handshake
 // rejects clients whose shard count, vertex count, graph fingerprint,
 // or partitioning digest disagrees.
+//
+// Replication: running several dsr-shard processes with the same -id
+// makes them interchangeable replicas of that partition — point the
+// coordinator at all of them with a '|' group ("a:7000|b:7000" in
+// dsr-query's -shards). Replicas need no awareness of each other; the
+// optional -replica flag only labels this process's logs. On SIGTERM
+// or SIGINT the server drains gracefully: new connections are refused,
+// in-flight task batches finish and are answered, then the process
+// exits 0 — so a rolling restart never drops an accepted batch, and a
+// replicated coordinator fails the severed connections over to a
+// sibling replica.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"dsr/internal/graph"
 	"dsr/internal/partition"
@@ -33,6 +47,7 @@ func main() {
 		graphPath   = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
 		numShards   = flag.Int("shards", 1, "total shard count of the deployment")
 		shardID     = flag.Int("id", 0, "this shard's index in [0, shards)")
+		replica     = flag.Int("replica", 0, "replica label for this partition's server (logs only; replicas are interchangeable)")
 		listen      = flag.String("listen", "127.0.0.1:7000", "TCP address to serve on")
 		partitioner = flag.String("partitioner", "hash", "partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N]; must match the coordinator's")
 	)
@@ -62,8 +77,8 @@ func main() {
 	// scales with the shard's share of the graph, not all k partitions.
 	sub := partition.ExtractOne(g, pt, *shardID)
 	sh := shard.New(*shardID, sub)
-	log.Printf("shard %d/%d (%s-partitioned): %d of %d vertices, %d entries, %d exits",
-		*shardID, *numShards, strat.Name(), sh.NumVertices(), g.NumVertices(),
+	log.Printf("shard %d/%d replica %d (%s-partitioned): %d of %d vertices, %d entries, %d exits",
+		*shardID, *numShards, *replica, strat.Name(), sh.NumVertices(), g.NumVertices(),
 		len(sub.Entries), len(sub.Exits))
 
 	ln, err := net.Listen("tcp", *listen)
@@ -72,7 +87,26 @@ func main() {
 	}
 	log.Printf("serving on %s", ln.Addr())
 	srv := shard.NewServer(sh, *numShards, g.NumVertices(), g.Fingerprint(), pt.Digest())
-	if err := srv.Serve(ln); err != nil {
+
+	// Graceful drain on SIGTERM/SIGINT: finish in-flight batches, refuse
+	// new connections, then exit 0 (Serve returns nil once draining).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigc
+		log.Printf("received %v: draining (answering in-flight batches, refusing new connections)", sig)
+		srv.Shutdown()
+		log.Printf("drained")
+	}()
+
+	// ErrClosed means a drain began before Serve was entered (a SIGTERM
+	// racing startup) — that is a clean shutdown, not a serving failure.
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, shard.ErrClosed) {
 		log.Fatalf("serve: %v", err)
 	}
+	// Make sure the drain fully finished before exiting (Serve can
+	// return the moment the listener closes, while a batch is still
+	// being answered).
+	srv.Shutdown()
+	log.Printf("exiting")
 }

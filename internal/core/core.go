@@ -24,6 +24,14 @@ import (
 // Query pairs one source set with one target set for QueryBatch.
 type Query = dsr.Query
 
+// BatchError is QueryBatchErr's partial-failure report: one entry per
+// unavailable partition plus a per-query Failed mask; answers for
+// queries with Failed[i] == false remain valid.
+type BatchError = dsr.BatchError
+
+// PartitionError is one unavailable partition inside a BatchError.
+type PartitionError = dsr.PartitionError
+
 // Engine answers set-reachability queries over a partitioned graph.
 type Engine struct {
 	inner *dsr.Engine
@@ -60,8 +68,16 @@ func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error
 
 // NewDistributed builds a coordinator over g hash-partitioned into
 // len(addrs) parts, with partition i served by the dsr-shard server at
-// addrs[i]. Every shard must have been started from the same graph (and
-// the same shard count); the handshake rejects mismatched deployments.
+// addrs[i] — or by a replica group: addrs[i] may list several
+// interchangeable servers separated by '|' ("h1:7000|h2:7000"). With
+// replicas the coordinator load-balances rounds across healthy
+// replicas, retries a batch on a sibling when a replica fails
+// mid-query, and reconnects dead replicas in the background; a
+// partition is only unavailable once every replica of it is down, and
+// even then QueryBatchErr fails just the queries that needed it (see
+// BatchError). Every shard must have been started from the same graph
+// (and the same shard count); the handshake rejects mismatched
+// deployments, replica by replica.
 func NewDistributed(g *graph.Graph, addrs ...string) (*Engine, error) {
 	inner, err := dsr.NewDistributed(g, addrs)
 	if err != nil {
@@ -94,7 +110,9 @@ func (e *Engine) Query(S, T []graph.VertexID) bool { return e.inner.Query(S, T) 
 func (e *Engine) QueryBatch(queries []Query) []bool { return e.inner.QueryBatch(queries) }
 
 // QueryBatchErr is QueryBatch with transport failures returned as an
-// error — the form to use against remote shards.
+// error — the form to use against remote shards. When the error is a
+// *BatchError (one or more partitions unavailable), the answers are
+// still valid for every query the error's Failed mask doesn't flag.
 func (e *Engine) QueryBatchErr(queries []Query) ([]bool, error) {
 	return e.inner.QueryBatchErr(queries)
 }

@@ -163,3 +163,75 @@ func TestFacadeDistributedTCP(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeReplicatedTCP drives the replica-group syntax end to end:
+// two servers per partition behind one "a|b" spec, a replica of every
+// partition killed mid-session, queries still answered.
+func TestFacadeReplicatedTCP(t *testing.T) {
+	g, err := graph.LoadEdgeListFile(filepath.Join("..", "graph", "testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, R = 3, 2
+	pt, err := graph.HashPartition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, _ := partition.Extract(g, pt)
+	specs := make([]string, k)
+	servers := make([][]*shard.Server, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		var addrs []string
+		for r := 0; r < R; r++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := shard.NewServer(shard.New(p, subs[p]), k, g.NumVertices(), g.Fingerprint(), pt.Digest())
+			servers[p] = append(servers[p], srv)
+			addrs = append(addrs, ln.Addr().String())
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				srv.Serve(ln)
+			}()
+		}
+		specs[p] = addrs[0] + "|" + addrs[1]
+	}
+	defer func() {
+		for _, row := range servers {
+			for _, srv := range row {
+				srv.Close()
+			}
+		}
+		wg.Wait()
+	}()
+
+	e, err := NewDistributed(g, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	check := func(stage string) {
+		t.Helper()
+		answers, err := e.QueryBatchErr([]Query{
+			{S: []graph.VertexID{0}, T: []graph.VertexID{7}},
+			{S: []graph.VertexID{7}, T: []graph.VertexID{0}},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if !answers[0] || answers[1] {
+			t.Fatalf("%s: answers = %v, want [true false]", stage, answers)
+		}
+	}
+	check("all replicas up")
+	// Kill one replica of every partition: the fleet must keep working.
+	for p := 0; p < k; p++ {
+		servers[p][0].Close()
+	}
+	for i := 0; i < 10; i++ { // enough rounds for round-robin to hit every corpse
+		check("one replica per partition down")
+	}
+}

@@ -25,6 +25,7 @@
 package dsr
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -194,11 +195,12 @@ type Query struct {
 
 // qstate is the coordinator's per-query bookkeeping within one batch.
 type qstate struct {
-	seeds []int32 // dense boundary ids reached by forward local searches
-	goals []int32 // dense boundary ids that reach a target locally
-	hit   bool    // some partition saw a local S ~> T path
-	done  bool    // answered during assembly (trivial/overlap cases)
-	ans   bool
+	seeds  []int32 // dense boundary ids reached by forward local searches
+	goals  []int32 // dense boundary ids that reach a target locally
+	hit    bool    // some partition saw a local S ~> T path
+	done   bool    // answered during assembly (trivial/overlap cases)
+	ans    bool
+	failed bool // a partition this query consulted answered nothing
 }
 
 // Engine answers set-reachability queries over a partitioned graph. It
@@ -284,23 +286,35 @@ func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error
 }
 
 // NewDistributed builds a coordinator over g hash-partitioned into
-// len(addrs) parts, where partition i is served by the shard server at
-// addrs[i]. See NewDistributedWith for the contract.
+// len(addrs) parts, where partition i is served by the shard server(s)
+// at addrs[i]. See NewDistributedWith for the contract.
 func NewDistributed(g *graph.Graph, addrs []string) (*Engine, error) {
 	return NewDistributedWith(g, graph.Hash(), addrs)
 }
 
 // NewDistributedWith builds a coordinator over g partitioned by p into
 // len(addrs) parts, where partition i is served by the shard server at
-// addrs[i]. The coordinator builds the boundary graph locally (it has
-// the full graph anyway) and verifies during the handshake that every
-// shard was built for the same shard count, vertex count, graph
-// fingerprint, and — because every Partitioner is deterministic — the
-// same partitioning digest, so both sides agree on vertex placement and
-// local IDs without shipping any placement data.
+// addrs[i] — or by a replica group: addrs[i] may name several
+// interchangeable servers separated by '|' ("host1:7000|host2:7000"),
+// in which case the coordinator routes each round to a healthy replica,
+// retries a batch on a sibling when a replica fails mid-query, and
+// periodically reconnects dead replicas. With replicas a partition is
+// only unavailable (surfacing as QueryBatchErr's *BatchError) when
+// every replica of it is down.
+//
+// The coordinator builds the boundary graph locally (it has the full
+// graph anyway) and verifies during the handshake that every shard —
+// every replica — was built for the same shard count, vertex count,
+// graph fingerprint, and, because every Partitioner is deterministic,
+// the same partitioning digest, so both sides agree on vertex placement
+// and local IDs without shipping any placement data.
 func NewDistributedWith(g *graph.Graph, p graph.Partitioner, addrs []string) (*Engine, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dsr: no shard addresses")
+	}
+	groups, err := shard.ParseGroups(addrs)
+	if err != nil {
+		return nil, err
 	}
 	pt, err := p.Partition(g, len(addrs))
 	if err != nil {
@@ -308,11 +322,30 @@ func NewDistributedWith(g *graph.Graph, p graph.Partitioner, addrs []string) (*E
 	}
 	subs, local := partition.Extract(g, pt)
 	bg := buildBoundaryGraph(g, pt, subs)
-	cl, err := shard.Dial(addrs, g.NumVertices(), g.Fingerprint(), pt.Digest())
+	replicated := false
+	for _, grp := range groups {
+		if len(grp) > 1 {
+			replicated = true
+			break
+		}
+	}
+	var tr shard.Transport
+	if replicated {
+		tr, err = shard.DialReplicated(groups, g.NumVertices(), g.Fingerprint(), pt.Digest(), shard.ReplicatedOptions{})
+	} else {
+		// Single-replica deployments keep the plain per-shard connection:
+		// same failure semantics as before, no per-submit goroutine. Dial
+		// the parsed (trimmed) addresses, not the raw specs.
+		single := make([]string, len(groups))
+		for i, grp := range groups {
+			single[i] = grp[0]
+		}
+		tr, err = shard.Dial(single, g.NumVertices(), g.Fingerprint(), pt.Digest())
+	}
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(g.NumVertices(), pt, local, bg, cl), nil
+	return newEngine(g.NumVertices(), pt, local, bg, tr), nil
 }
 
 // newLoopbackEngine trusts pt (labels in range, boundary marks
@@ -378,9 +411,11 @@ func (e *Engine) Close() {
 // (reachability is reflexive: a vertex reaches itself). Vertices outside
 // the graph are ignored; an empty side yields false. Query panics if the
 // engine has been closed — a silent false would be indistinguishable
-// from a genuine negative answer — and on a transport failure (only
-// possible on distributed engines; use QueryBatchErr for recoverable
-// error handling there).
+// from a genuine negative answer — and on a transport failure that
+// leaves the answer unknown (only possible on distributed engines; use
+// QueryBatchErr for recoverable error handling there). A lost partition
+// whose absence the query survived — it was proven reachable by the
+// partitions that did answer — still returns normally.
 func (e *Engine) Query(S, T []graph.VertexID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -388,7 +423,10 @@ func (e *Engine) Query(S, T []graph.VertexID) bool {
 	err := e.queryBatch(e.single[:])
 	e.single[0] = Query{}
 	if err != nil {
-		panic(fmt.Sprintf("dsr: transport failure: %v", err))
+		var be *BatchError
+		if !errors.As(err, &be) || be.Failed[0] {
+			panic(fmt.Sprintf("dsr: transport failure: %v", err))
+		}
 	}
 	return e.qs[0].ans
 }
@@ -398,32 +436,54 @@ func (e *Engine) Query(S, T []graph.VertexID) bool {
 // task batch, and every boundary fan-in is answered before replying.
 // Batching amortizes per-round transport overhead (one RPC per shard
 // instead of one per query per shard) and is the intended way to drive
-// distributed engines. It panics on closed engines and transport
-// failures, like Query; QueryBatchErr returns the error instead.
+// distributed engines. It panics on closed engines and on any failure
+// that leaves an answer unknown, like Query; QueryBatchErr returns the
+// error instead.
 func (e *Engine) QueryBatch(queries []Query) []bool {
 	out, err := e.QueryBatchErr(queries)
 	if err != nil {
-		panic(fmt.Sprintf("dsr: transport failure: %v", err))
+		var be *BatchError
+		if !errors.As(err, &be) || slices.Contains(be.Failed, true) {
+			panic(fmt.Sprintf("dsr: transport failure: %v", err))
+		}
 	}
 	return out
 }
 
 // QueryBatchErr is QueryBatch with transport failures reported as an
-// error instead of a panic. On error the answers are invalid.
+// error instead of a panic, and with partial-failure semantics: losing
+// a partition fails only the queries that needed it, not the batch.
+//
+// When the error is a *BatchError, the returned answers are still
+// valid for every query i with err.Failed[i] == false — queries that
+// never consulted a dead partition, plus queries a dead partition
+// could not change (a local hit or boundary path already proved them
+// true; missing data only ever hides paths). Failed queries have no
+// trustworthy answer and read false. A partition counts as dead
+// whenever it delivered no usable reply, whether the connection
+// dropped or the server reported an error (e.g. a mismatch it
+// detected); with replicas, only after every replica failed. Any other
+// non-nil error — malformed content in a reply that did arrive, or a
+// closed transport — invalidates the whole batch and the answers are
+// nil.
 func (e *Engine) QueryBatchErr(queries []Query) ([]bool, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.queryBatch(queries); err != nil {
-		return nil, err
+	err := e.queryBatch(queries)
+	if err != nil {
+		var be *BatchError
+		if !errors.As(err, &be) {
+			return nil, err
+		}
 	}
 	out := make([]bool, len(queries))
 	for i := range out {
 		out[i] = e.qs[i].ans
 	}
-	return out, nil
+	return out, err
 }
 
 // queryBatch runs one full coordinator round for the batch, leaving the
@@ -452,7 +512,7 @@ func (e *Engine) queryBatch(queries []Query) error {
 		q := &queries[i]
 		st := &e.qs[i]
 		st.seeds, st.goals = st.seeds[:0], st.goals[:0]
-		st.hit, st.done, st.ans = false, false, false
+		st.hit, st.done, st.ans, st.failed = false, false, false, false
 		e.tmark.Reset()
 		e.smark.Reset()
 		e.tparts = e.tparts[:0]
@@ -537,13 +597,22 @@ func (e *Engine) queryBatch(queries []Query) error {
 	// entries that locally reach T are its goals. The reply channel is
 	// always drained in full — the shared arenas and shard result
 	// buffers must be quiescent before the next round rewrites them —
-	// and transport errors are collected rather than aborting the drain.
+	// and failures are collected rather than aborting the drain. A
+	// partition that answered nothing — connection loss, or a
+	// server-reported error that broke the connection; on a replicated
+	// transport, every replica failing — is a partial failure marking
+	// only the queries that consulted that partition. Malformed content
+	// inside a reply that did arrive (a shard disagreeing about the
+	// batch shape or the boundary set) poisons the whole round via
+	// terr: such a shard cannot be trusted retroactively.
+	var perr []PartitionError
 	var terr error
 	for r := 0; r < nsub; r++ {
 		rep := <-e.replyc
 		if rep.Err != nil {
-			if terr == nil {
-				terr = rep.Err
+			perr = append(perr, PartitionError{Partition: rep.Shard, Err: rep.Err})
+			for ti := range e.tasks[rep.Shard] {
+				e.qs[e.tasks[rep.Shard][ti].Query].failed = true
 			}
 			continue
 		}
@@ -585,19 +654,33 @@ func (e *Engine) queryBatch(queries []Query) error {
 	// Final pass: one BFS over the compressed boundary graph per
 	// undecided query. Goal/visited marks reset in O(1) per query via
 	// epochs, and the queue's capacity is shared across the whole batch.
+	// Queries that consulted a dead partition still run on whatever the
+	// surviving partitions reported: results can only be missing, never
+	// wrong, so reaching a goal proves the query true and un-fails it —
+	// only a `false` built on incomplete data stays failed.
 	for i := range queries {
 		st := &e.qs[i]
 		if st.done {
 			continue
 		}
 		if st.hit {
-			st.ans = true
+			st.ans, st.failed = true, false
 			continue
 		}
 		if len(st.seeds) == 0 || len(st.goals) == 0 {
 			continue
 		}
-		st.ans = e.boundaryReach(st.seeds, st.goals)
+		if e.boundaryReach(st.seeds, st.goals) {
+			st.ans, st.failed = true, false
+		}
+	}
+	if perr != nil {
+		slices.SortFunc(perr, func(a, b PartitionError) int { return a.Partition - b.Partition })
+		failed := make([]bool, len(queries))
+		for i := range queries {
+			failed[i] = e.qs[i].failed
+		}
+		return &BatchError{Partitions: perr, Failed: failed}
 	}
 	return nil
 }

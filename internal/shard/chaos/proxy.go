@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"dsr/internal/wire"
+)
+
+// ProxyOptions tunes one fault-injecting proxy.
+type ProxyOptions struct {
+	// Seed derives a per-connection rng (salted with the connection's
+	// accept sequence number and direction), so frame-level decisions
+	// replay for a fixed seed regardless of goroutine interleaving.
+	Seed int64
+	// CutProb is the per-forwarded-frame probability that the frame is
+	// truncated mid-payload and both sides of the proxied connection
+	// are closed — the mid-query disconnect a coordinator must survive
+	// by retrying on a sibling replica.
+	CutProb float64
+	// DelayProb and MaxDelay hold a frame back uniformly in
+	// (0, MaxDelay] before forwarding it.
+	DelayProb float64
+	MaxDelay  time.Duration
+}
+
+// Proxy is a frame-granular chaos TCP proxy for one replica endpoint:
+// it listens on an ephemeral localhost port, forwards whole wire
+// frames to the target shard server, and injects faults between (and
+// inside) frames. Kill drops every live connection and refuses new
+// ones until Revive — a replica crash and restart as seen from the
+// network, without touching the real server.
+type Proxy struct {
+	target string
+	opts   ProxyOptions
+	ln     net.Listener
+
+	mu     sync.Mutex
+	killed bool
+	closed bool
+	nconns int64
+	conns  map[net.Conn]struct{} // accepted client conns; closing one tears down its pair
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy in front of the shard server at target.
+func NewProxy(target string, opts ProxyOptions) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, opts: opts, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address coordinators should dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Kill severs every proxied connection and refuses new ones until
+// Revive: the replica is dead as far as any dialer is concerned.
+func (p *Proxy) Kill() {
+	p.mu.Lock()
+	p.killed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Revive lets the proxy accept and forward again.
+func (p *Proxy) Revive() {
+	p.mu.Lock()
+	p.killed = false
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down for good and waits for its goroutines.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed || p.killed {
+			p.mu.Unlock()
+			c.Close()
+			continue
+		}
+		p.nconns++
+		seq := p.nconns
+		p.conns[c] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.serve(c, seq)
+	}
+}
+
+func (p *Proxy) dropConn(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+// serve pairs the accepted client conn with a fresh conn to the target
+// and pumps frames both ways until either side (or a fault) ends it.
+func (p *Proxy) serve(client net.Conn, seq int64) {
+	defer p.wg.Done()
+	defer p.dropConn(client)
+	server, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	// Both directions carry wire frames; each gets its own rng so its
+	// decisions depend only on (seed, conn seq, direction, frame index).
+	go func() {
+		defer pumps.Done()
+		p.pump(client, server, p.rng(seq, 0))
+		server.Close()
+		client.Close()
+	}()
+	go func() {
+		defer pumps.Done()
+		p.pump(server, client, p.rng(seq, 1))
+		server.Close()
+		client.Close()
+	}()
+	pumps.Wait()
+}
+
+func (p *Proxy) rng(seq, dir int64) *rand.Rand {
+	return rand.New(rand.NewSource(p.opts.Seed + seq*104_729 + dir*15_485_863))
+}
+
+// pump forwards frames from src to dst, one wire frame at a time,
+// rolling the rng per frame: forward, delay-then-forward, or truncate
+// mid-payload and kill the connection.
+func (p *Proxy) pump(src, dst net.Conn, rng *rand.Rand) {
+	var hdr [4]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(src, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > wire.MaxFrame {
+			return // not a sane frame; kill the conn rather than stream blindly
+		}
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(src, buf); err != nil {
+			return
+		}
+		if p.opts.DelayProb > 0 && rng.Float64() < p.opts.DelayProb && p.opts.MaxDelay > 0 {
+			time.Sleep(time.Duration(1 + rng.Int63n(int64(p.opts.MaxDelay))))
+		}
+		if p.opts.CutProb > 0 && rng.Float64() < p.opts.CutProb {
+			// Mid-frame cut: the peer sees a length prefix, half a
+			// payload, then a dead socket.
+			dst.Write(hdr[:])
+			dst.Write(buf[:len(buf)/2])
+			return
+		}
+		if _, err := dst.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := dst.Write(buf); err != nil {
+			return
+		}
+	}
+}

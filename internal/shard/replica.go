@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dsr/internal/wire"
+)
+
+// Replica is one endpoint serving a single partition's local-search
+// task batches. It is the unit the replica-aware transport
+// (Replicated) fails over between: every replica of a partition holds
+// the same subgraph and index, so any of them can answer any batch for
+// that partition. Submit follows the Transport contract, minus the
+// partition index (a Replica serves exactly one partition): exactly
+// one Reply per call, Results aliasing replica-owned buffers that stay
+// valid until the next Submit to the same replica. Close releases the
+// replica's resources; a closed replica answers every further Submit
+// with an error Reply.
+type Replica interface {
+	Submit(tasks []wire.Task, replyc chan<- Reply)
+	Close() error
+}
+
+// ReplicaDialer establishes a live Replica for one endpoint, or
+// reports why it cannot (host down, handshake mismatch). The
+// replica-aware transport calls it at construction, again from its
+// periodic reconnect loop for endpoints marked dead, and as a last
+// resort during a query when a partition has no live replica left.
+type ReplicaDialer func() (Replica, error)
+
+// TCPReplicaDialer returns a dialer for a dsr-shard server at addr
+// serving partition p of a numShards-wide deployment. Every dial runs
+// the full hello handshake — shard identity, deployment shape, graph
+// fingerprint, partitioning digest — so a replica that comes back
+// wrong (restarted from a different graph or partitioning spec) is
+// refused on reconnect exactly like at first contact.
+func TCPReplicaDialer(p int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64) ReplicaDialer {
+	return func() (Replica, error) {
+		return dialShard(p, addr, numShards, wantVertices, wantGraph, wantPart)
+	}
+}
+
+// localReplica serves one partition's batches on a dedicated in-process
+// Shard. It exists for the replication test harnesses (and any embedder
+// that wants replicated semantics without TCP): R local replicas of a
+// partition are R independent Shard instances over the same subgraph,
+// so failing over between them is exercised with real buffer ownership.
+type localReplica struct {
+	sh     *Shard
+	mu     sync.Mutex // serializes Run and guards closed
+	closed bool
+}
+
+// NewLocalReplica wraps sh as a Replica. The Replica takes ownership of
+// sh's scratch: callers must not Run the shard themselves, and replicas
+// of the same partition need distinct Shard instances (they may execute
+// concurrently during failover).
+func NewLocalReplica(sh *Shard) Replica {
+	return &localReplica{sh: sh}
+}
+
+func (lr *localReplica) Submit(tasks []wire.Task, replyc chan<- Reply) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.closed {
+		replyc <- Reply{Shard: lr.sh.ID(), Err: ErrClosed}
+		return
+	}
+	replyc <- Reply{Shard: lr.sh.ID(), Results: lr.sh.Run(tasks)}
+}
+
+func (lr *localReplica) Close() error {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	lr.closed = true
+	return nil
+}
+
+// ParseGroups expands replica address groups: addrs[p] holds partition
+// p's endpoints separated by '|' ("host1:7000|host2:7000"). Whitespace
+// around endpoints is trimmed; empty endpoints (or empty groups) are
+// rejected so a typo like "a||b" cannot silently shrink a replica set.
+func ParseGroups(addrs []string) ([][]string, error) {
+	groups := make([][]string, len(addrs))
+	for p, spec := range addrs {
+		for _, a := range strings.Split(spec, "|") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("shard: partition %d: empty replica address in %q", p, spec)
+			}
+			groups[p] = append(groups[p], a)
+		}
+	}
+	return groups, nil
+}

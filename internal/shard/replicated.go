@@ -1,0 +1,408 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dsr/internal/wire"
+)
+
+// defaultReconnectEvery is how often the background loop retries dead
+// replicas when ReplicatedOptions doesn't say otherwise.
+const defaultReconnectEvery = time.Second
+
+// ReplicatedOptions tunes the replica-aware transport.
+type ReplicatedOptions struct {
+	// ReconnectEvery is the period of the background loop that redials
+	// dead replicas (every redial re-runs the full handshake, so a
+	// replica that restarted wrong stays dead). 0 means the 1s default;
+	// negative disables background reconnection entirely — dead
+	// replicas are then only retried when their partition has no live
+	// replica left.
+	ReconnectEvery time.Duration
+}
+
+// Replicated is the replica-aware Transport: partition p is served by
+// one of several interchangeable replicas. Submit routes each task
+// batch to a healthy replica (rotating between them to spread load),
+// and because local searches are idempotent — pure reads over an
+// immutable subgraph — a batch whose send or receive fails mid-query
+// is simply retried on a sibling replica. A replica that fails is
+// marked dead and periodically redialed in the background; only when
+// every replica of a partition fails within one Submit does the
+// coordinator see an error Reply, and that Reply's Err details every
+// replica's failure.
+type Replicated struct {
+	sets []*replicaSet
+	opts ReplicatedOptions
+
+	stopc  chan struct{}
+	loopWG sync.WaitGroup // background reconnect loop
+	subWG  sync.WaitGroup // in-flight Submit goroutines
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// replicaSet is one partition's replicas: dialers are fixed at
+// construction, live[i] is the connected Replica for dialers[i] or nil
+// while it is dead, and lastErr[i] remembers why it died (for the
+// all-replicas-failed error detail).
+type replicaSet struct {
+	part    int
+	dialers []ReplicaDialer
+
+	mu      sync.Mutex
+	live    []Replica
+	lastErr []error
+	rr      int // round-robin cursor over replica indices
+	closed  bool
+
+	dialMu sync.Mutex // serializes redials so loop and Submit don't race a dial
+}
+
+// NewReplicated dials every replica of every partition and returns the
+// transport. Construction requires at least one live replica per
+// partition (a partition with zero replicas up cannot answer anything);
+// replicas that fail to dial start out dead and are retried by the
+// reconnect loop. groups[p] lists partition p's dialers.
+func NewReplicated(groups [][]ReplicaDialer, opts ReplicatedOptions) (*Replicated, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("shard: no replica groups")
+	}
+	r := &Replicated{
+		sets:  make([]*replicaSet, len(groups)),
+		opts:  opts,
+		stopc: make(chan struct{}),
+	}
+	for p, dialers := range groups {
+		if len(dialers) == 0 {
+			r.shutdown()
+			return nil, fmt.Errorf("shard: partition %d has no replicas", p)
+		}
+		rs := &replicaSet{
+			part:    p,
+			dialers: dialers,
+			live:    make([]Replica, len(dialers)),
+			lastErr: make([]error, len(dialers)),
+		}
+		nlive := 0
+		for i, dial := range dialers {
+			rep, err := dial()
+			if err != nil {
+				rs.lastErr[i] = err
+				continue
+			}
+			rs.live[i] = rep
+			nlive++
+		}
+		r.sets[p] = rs
+		if nlive == 0 {
+			r.shutdown()
+			return nil, fmt.Errorf("shard: partition %d: no replica reachable: %v", p, rs.describeFailures())
+		}
+	}
+	every := opts.ReconnectEvery
+	if every == 0 {
+		every = defaultReconnectEvery
+	}
+	if every > 0 {
+		r.loopWG.Add(1)
+		go r.reconnectLoop(every)
+	}
+	return r, nil
+}
+
+// DialReplicated connects to a replicated TCP deployment: groups[p]
+// lists the dsr-shard addresses serving partition p (any of them may be
+// down, as long as each partition has at least one up). Handshake
+// expectations follow Dial: wantVertices < 0 skips the vertex-count
+// check, 0 skips either digest.
+func DialReplicated(groups [][]string, wantVertices int, wantGraph, wantPart uint64, opts ReplicatedOptions) (*Replicated, error) {
+	dialers := make([][]ReplicaDialer, len(groups))
+	for p, addrs := range groups {
+		dialers[p] = make([]ReplicaDialer, len(addrs))
+		for i, addr := range addrs {
+			dialers[p][i] = TCPReplicaDialer(p, addr, len(groups), wantVertices, wantGraph, wantPart)
+		}
+	}
+	return NewReplicated(dialers, opts)
+}
+
+// NumShards returns the partition count.
+func (r *Replicated) NumShards() int { return len(r.sets) }
+
+// NumLive returns how many of partition p's replicas are currently
+// connected — observability for tests and operators, not a correctness
+// signal (a "live" replica may die on next use).
+func (r *Replicated) NumLive(p int) int {
+	rs := r.sets[p]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	n := 0
+	for _, rep := range rs.live {
+		if rep != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit routes the batch to a healthy replica of partition p,
+// retrying siblings on failure; the final Reply (success from whichever
+// replica answered, or an all-replicas-failed error) is delivered on
+// replyc. Each Submit runs in its own goroutine so the coordinator's
+// fan-out never blocks on a slow or dying replica.
+func (r *Replicated) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		replyc <- Reply{Shard: p, Err: ErrClosed}
+		return
+	}
+	r.subWG.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer r.subWG.Done()
+		replyc <- r.sets[p].run(tasks)
+	}()
+}
+
+// Close stops the reconnect loop, closes every live replica (failing
+// any in-flight batch, whose Submit goroutine then delivers an error
+// Reply), and waits for all transport-owned goroutines. Safe to call
+// more than once.
+func (r *Replicated) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.shutdown()
+	return nil
+}
+
+func (r *Replicated) shutdown() {
+	close(r.stopc)
+	for _, rs := range r.sets {
+		if rs != nil {
+			rs.closeAll()
+		}
+	}
+	r.loopWG.Wait()
+	r.subWG.Wait()
+}
+
+func (r *Replicated) reconnectLoop(every time.Duration) {
+	defer r.loopWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-t.C:
+			for _, rs := range r.sets {
+				rs.reconnect()
+			}
+		}
+	}
+}
+
+// run executes one batch against the set, trying each replica at most
+// once: healthy replicas first in round-robin order, then — only if no
+// healthy replica remains — a last-resort redial of the dead ones. A
+// replica that fails mid-batch is marked dead (and closed); the batch
+// is retried on the next candidate, which is correct because local
+// searches are idempotent reads. Only when every replica has failed
+// does the caller get an error Reply, carrying each replica's failure.
+func (rs *replicaSet) run(tasks []wire.Task) Reply {
+	tried := make([]bool, len(rs.dialers))
+	inner := make(chan Reply, 1)
+	for {
+		idx, rep := rs.pick(tried)
+		if rep == nil {
+			idx, rep = rs.redialDead(tried)
+		}
+		if rep == nil {
+			return Reply{Shard: rs.part, Err: &ReplicaSetError{Part: rs.part, Replicas: rs.describeFailures()}}
+		}
+		tried[idx] = true
+		rep.Submit(tasks, inner)
+		reply := <-inner
+		if reply.Err == nil {
+			reply.Shard = rs.part
+			return reply
+		}
+		rs.markDead(idx, rep, reply.Err)
+	}
+}
+
+// pick returns the next untried healthy replica in round-robin order,
+// or nil if none remains.
+func (rs *replicaSet) pick(tried []bool) (int, Replica) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.closed {
+		return -1, nil
+	}
+	n := len(rs.live)
+	for i := 0; i < n; i++ {
+		idx := (rs.rr + i) % n
+		if !tried[idx] && rs.live[idx] != nil {
+			rs.rr = idx + 1
+			return idx, rs.live[idx]
+		}
+	}
+	return -1, nil
+}
+
+// redialDead is the in-query last resort: with no healthy replica left
+// the batch would fail anyway, so attempting a fresh dial of each
+// untried dead endpoint is strictly better — it catches a replica that
+// came back between reconnect ticks. Dials are serialized with the
+// background loop so an endpoint is never dialed twice concurrently.
+func (rs *replicaSet) redialDead(tried []bool) (int, Replica) {
+	rs.dialMu.Lock()
+	defer rs.dialMu.Unlock()
+	for idx := range rs.dialers {
+		if tried[idx] {
+			continue
+		}
+		rs.mu.Lock()
+		if rs.closed {
+			rs.mu.Unlock()
+			return -1, nil
+		}
+		if rep := rs.live[idx]; rep != nil {
+			// Revived by the background loop while we waited for dialMu.
+			rs.mu.Unlock()
+			return idx, rep
+		}
+		rs.mu.Unlock()
+		rep, err := rs.dialers[idx]()
+		if err != nil {
+			rs.mu.Lock()
+			rs.lastErr[idx] = err
+			rs.mu.Unlock()
+			continue
+		}
+		if !rs.install(idx, rep) {
+			return -1, nil // closed while dialing
+		}
+		return idx, rep
+	}
+	return -1, nil
+}
+
+// reconnect redials every currently-dead endpoint once.
+func (rs *replicaSet) reconnect() {
+	rs.dialMu.Lock()
+	defer rs.dialMu.Unlock()
+	for idx := range rs.dialers {
+		rs.mu.Lock()
+		dead := rs.live[idx] == nil && !rs.closed
+		rs.mu.Unlock()
+		if !dead {
+			continue
+		}
+		rep, err := rs.dialers[idx]()
+		if err != nil {
+			rs.mu.Lock()
+			rs.lastErr[idx] = err
+			rs.mu.Unlock()
+			continue
+		}
+		if !rs.install(idx, rep) {
+			return
+		}
+	}
+}
+
+// install stores a freshly dialed replica, or closes it and reports
+// false if the set was closed while the dial was in flight.
+func (rs *replicaSet) install(idx int, rep Replica) bool {
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		rep.Close()
+		return false
+	}
+	rs.live[idx] = rep
+	rs.lastErr[idx] = nil
+	rs.mu.Unlock()
+	return true
+}
+
+// markDead records why replica idx failed and closes it, unless a
+// reconnect already replaced it with a fresh instance (then the fresh
+// one is left alone and only the failed instance is closed).
+func (rs *replicaSet) markDead(idx int, failed Replica, err error) {
+	rs.mu.Lock()
+	if rs.live[idx] == failed {
+		rs.live[idx] = nil
+		rs.lastErr[idx] = err
+	}
+	rs.mu.Unlock()
+	failed.Close()
+}
+
+func (rs *replicaSet) closeAll() {
+	rs.mu.Lock()
+	rs.closed = true
+	live := make([]Replica, len(rs.live))
+	copy(live, rs.live)
+	for i := range rs.live {
+		rs.live[i] = nil
+	}
+	rs.mu.Unlock()
+	for _, rep := range live {
+		if rep != nil {
+			rep.Close()
+		}
+	}
+}
+
+// describeFailures snapshots the per-replica failure detail.
+func (rs *replicaSet) describeFailures() []ReplicaError {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]ReplicaError, len(rs.dialers))
+	for i := range rs.dialers {
+		out[i] = ReplicaError{Replica: i, Err: rs.lastErr[i]}
+		if out[i].Err == nil {
+			if rs.closed {
+				out[i].Err = ErrClosed
+			} else {
+				out[i].Err = errors.New("failed during this batch")
+			}
+		}
+	}
+	return out
+}
+
+// ReplicaError is one replica's failure within a ReplicaSetError.
+type ReplicaError struct {
+	Replica int
+	Err     error
+}
+
+// ReplicaSetError reports that every replica of a partition failed for
+// one task batch — the only condition under which the replica-aware
+// transport surfaces an error to the coordinator.
+type ReplicaSetError struct {
+	Part     int
+	Replicas []ReplicaError
+}
+
+func (e *ReplicaSetError) Error() string {
+	s := fmt.Sprintf("all %d replica(s) of partition %d failed:", len(e.Replicas), e.Part)
+	for _, re := range e.Replicas {
+		s += fmt.Sprintf(" [replica %d: %v]", re.Replica, re.Err)
+	}
+	return s
+}

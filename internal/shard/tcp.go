@@ -14,6 +14,12 @@ import (
 // shard's hello frame.
 const handshakeTimeout = 10 * time.Second
 
+// drainTimeout bounds how long a graceful Shutdown lets a busy
+// connection finish writing its in-flight response. Without it a peer
+// that stops draining its socket would block Shutdown — and a
+// SIGTERMed dsr-shard — forever on a full send buffer.
+const drainTimeout = 30 * time.Second
+
 // Server serves one shard's local-search RPCs over TCP: per connection,
 // a hello frame identifying the shard, then a request/response loop of
 // MsgTasks -> MsgResults frames. Protocol violations get a MsgError
@@ -27,11 +33,19 @@ type Server struct {
 
 	runMu sync.Mutex // serializes Shard.Run + result encoding
 
-	mu     sync.Mutex // guards ln, conns, closed
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex // guards ln, conns, closed, draining
+	ln       net.Listener
+	conns    map[net.Conn]*connState
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// connState tracks whether a connection is between batches (idle) or
+// mid-batch (busy): a graceful Shutdown closes idle connections
+// immediately but lets busy ones finish writing their response.
+type connState struct {
+	busy bool
 }
 
 // NewServer returns a server for sh. numShards and numVertices describe
@@ -53,7 +67,7 @@ func NewServer(sh *Shard, numShards, numVertices int, graphSum, partSum uint64) 
 			Graph:        graphSum,
 			Partitioning: partSum,
 		},
-		conns: make(map[net.Conn]struct{}),
+		conns: make(map[net.Conn]*connState),
 	}
 }
 
@@ -61,7 +75,7 @@ func NewServer(sh *Shard, numShards, numVertices int, graphSum, partSum uint64) 
 // Close, or the accept error otherwise.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		ln.Close()
 		return ErrClosed
@@ -72,20 +86,20 @@ func (s *Server) Serve(ln net.Listener) error {
 		c, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopping {
 				return nil
 			}
 			return err
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			c.Close()
 			return nil
 		}
-		s.conns[c] = struct{}{}
+		s.conns[c] = &connState{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.handle(c)
@@ -111,6 +125,66 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return nil
+}
+
+// Shutdown drains the server gracefully: the listener is closed so new
+// connections are refused, idle connections (waiting between batches)
+// are closed, and connections mid-batch finish executing and writing
+// their response before their handler exits. When Shutdown returns, no
+// handler is running and every accepted batch has been answered —
+// SIGTERM handling in cmd/dsr-shard rides on this, and a coordinator
+// with replicas fails the dropped connections over to a sibling. Safe
+// to call more than once and concurrently with Close.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	already := s.closed || s.draining
+	s.draining = true
+	ln := s.ln
+	if !already {
+		for c, st := range s.conns {
+			if !st.busy {
+				c.Close()
+			} else {
+				// Busy handlers get drainTimeout to flush their response;
+				// a peer that won't read loses the conn instead of wedging
+				// the drain.
+				c.SetDeadline(time.Now().Add(drainTimeout))
+			}
+		}
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// beginBatch marks c busy; it reports false (and the handler must hang
+// up without answering) when the server started draining before the
+// batch began executing.
+func (s *Server) beginBatch(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return false
+	}
+	if st, ok := s.conns[c]; ok {
+		st.busy = true
+	}
+	return true
+}
+
+// endBatch marks c idle again; it reports false when the server is
+// draining, telling the handler to exit now that its in-flight batch
+// has been fully answered.
+func (s *Server) endBatch(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.conns[c]; ok {
+		st.busy = false
+	}
+	return !(s.closed || s.draining)
 }
 
 func (s *Server) dropConn(c net.Conn) {
@@ -148,6 +222,9 @@ func (s *Server) handle(c net.Conn) {
 		if err != nil {
 			return // EOF or broken conn: just drop it
 		}
+		if !s.beginBatch(c) {
+			return // draining: refuse batches that haven't started executing
+		}
 		rbuf = p
 		ty, err := wire.MsgType(p)
 		if err != nil || ty != wire.MsgTasks {
@@ -178,6 +255,9 @@ func (s *Server) handle(c net.Conn) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		if !s.endBatch(c) {
+			return // draining: this batch was answered, now hang up
+		}
 	}
 }
 
@@ -189,8 +269,14 @@ type Client struct {
 	once  sync.Once
 }
 
+// clientConn is one live connection to a shard server. It implements
+// Replica, which is how the replica-aware transport (Replicated) holds
+// one clientConn per replica endpoint and fails batches over between
+// them; the plain Client is the degenerate one-replica-per-partition
+// arrangement of the same type.
 type clientConn struct {
 	shard int
+	addr  string
 	c     net.Conn
 	bw    *bufio.Writer
 
@@ -258,7 +344,7 @@ func dialShard(i int, addr string, numShards, wantVertices int, wantGraph, wantP
 		return nil, fmt.Errorf("shard %d (%s): server built with a different partitioning (digest %#x, coordinator %#x — same -partitioner spec everywhere?)", i, addr, h.Partitioning, wantPart)
 	}
 	c.SetReadDeadline(time.Time{})
-	cc := &clientConn{shard: i, c: c, bw: bufio.NewWriter(c), done: make(chan struct{})}
+	cc := &clientConn{shard: i, addr: addr, c: c, bw: bufio.NewWriter(c), done: make(chan struct{})}
 	go cc.readLoop()
 	return cc, nil
 }
@@ -270,32 +356,7 @@ func (cl *Client) NumShards() int { return len(cl.conns) }
 // Reply arrives on replyc when the response frame is read (or an error
 // Reply immediately if the connection is broken).
 func (cl *Client) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
-	cc := cl.conns[p]
-	cc.mu.Lock()
-	if cc.broken != nil {
-		err := cc.broken
-		cc.mu.Unlock()
-		replyc <- Reply{Shard: p, Err: err}
-		return
-	}
-	// Register before writing: the reader pops pending FIFO as response
-	// frames arrive, and a response can only follow a completed write.
-	cc.pending = append(cc.pending, replyc)
-	cc.wbuf = wire.AppendTasks(cc.wbuf[:0], tasks)
-	err := wire.WriteFrame(cc.bw, cc.wbuf)
-	if err == nil {
-		err = cc.bw.Flush()
-	}
-	if err != nil {
-		err = fmt.Errorf("shard %d: write: %w", p, err)
-		cc.broken = err
-		cc.pending = cc.pending[:len(cc.pending)-1]
-		cc.mu.Unlock()
-		cc.c.Close() // wake the reader so it fails any earlier pending
-		replyc <- Reply{Shard: p, Err: err}
-		return
-	}
-	cc.mu.Unlock()
+	cl.conns[p].Submit(tasks, replyc)
 }
 
 // Close closes every connection and waits for the reader goroutines to
@@ -310,6 +371,46 @@ func (cl *Client) Close() error {
 			<-cc.done
 		}
 	})
+	return nil
+}
+
+// Submit encodes and writes the batch to the connection (Replica
+// interface). The Reply arrives on replyc when the response frame is
+// read, or immediately with an error if the connection is broken.
+func (cc *clientConn) Submit(tasks []wire.Task, replyc chan<- Reply) {
+	cc.mu.Lock()
+	if cc.broken != nil {
+		err := cc.broken
+		cc.mu.Unlock()
+		replyc <- Reply{Shard: cc.shard, Err: err}
+		return
+	}
+	// Register before writing: the reader pops pending FIFO as response
+	// frames arrive, and a response can only follow a completed write.
+	cc.pending = append(cc.pending, replyc)
+	cc.wbuf = wire.AppendTasks(cc.wbuf[:0], tasks)
+	err := wire.WriteFrame(cc.bw, cc.wbuf)
+	if err == nil {
+		err = cc.bw.Flush()
+	}
+	if err != nil {
+		err = fmt.Errorf("shard %d (%s): write: %w", cc.shard, cc.addr, err)
+		cc.broken = err
+		cc.pending = cc.pending[:len(cc.pending)-1]
+		cc.mu.Unlock()
+		cc.c.Close() // wake the reader so it fails any earlier pending
+		replyc <- Reply{Shard: cc.shard, Err: err}
+		return
+	}
+	cc.mu.Unlock()
+}
+
+// Close closes the connection and waits for its reader goroutine to
+// exit; pending Submits receive error replies (Replica interface).
+func (cc *clientConn) Close() error {
+	cc.fail(ErrClosed)
+	cc.c.Close()
+	<-cc.done
 	return nil
 }
 
@@ -339,7 +440,7 @@ func (cc *clientConn) readLoop() {
 	for {
 		p, err := wire.ReadFrame(br, rbuf)
 		if err != nil {
-			cc.fail(fmt.Errorf("shard %d: read: %w", cc.shard, err))
+			cc.fail(fmt.Errorf("shard %d (%s): read: %w", cc.shard, cc.addr, err))
 			return
 		}
 		rbuf = p
@@ -349,7 +450,7 @@ func (cc *clientConn) readLoop() {
 			if derr != nil {
 				msg = "undecodable server error"
 			}
-			cc.fail(fmt.Errorf("shard %d: server error: %s", cc.shard, msg))
+			cc.fail(fmt.Errorf("shard %d (%s): server error: %s", cc.shard, cc.addr, msg))
 			return
 		}
 		// Refuse unsolicited frames BEFORE decoding: the decode reuses
@@ -363,12 +464,12 @@ func (cc *clientConn) readLoop() {
 		unsolicited := len(cc.pending) == 0
 		cc.mu.Unlock()
 		if unsolicited {
-			cc.fail(fmt.Errorf("shard %d: unsolicited response frame", cc.shard))
+			cc.fail(fmt.Errorf("shard %d (%s): unsolicited response frame", cc.shard, cc.addr))
 			return
 		}
 		results, arena, err = wire.DecodeResults(p, results[:0], arena[:0])
 		if err != nil {
-			cc.fail(fmt.Errorf("shard %d: bad response: %w", cc.shard, err))
+			cc.fail(fmt.Errorf("shard %d (%s): bad response: %w", cc.shard, cc.addr, err))
 			return
 		}
 		cc.mu.Lock()
