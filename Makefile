@@ -13,11 +13,12 @@ BENCH_TIME ?= 100x
 FUZZ_TIME ?= 30s
 
 # Committed coverage minima for the replication/failover-critical
-# packages (cover-gate). Measured ~89/92/92% when recorded; the slack
-# absorbs small refactors, while a real test deletion trips the gate.
+# packages plus the wire protocol (cover-gate). The slack absorbs
+# small refactors, while a real test deletion trips the gate.
 COVER_MIN_SHARD ?= 85.0
 COVER_MIN_CHAOS ?= 85.0
 COVER_MIN_DSR ?= 87.0
+COVER_MIN_WIRE ?= 85.0
 
 .PHONY: build test test-e2e vet fmt fmt-check lint bench bench-smoke bench-json bench-baseline bench-gate cover-gate fuzz-smoke vulncheck
 
@@ -40,9 +41,9 @@ test-e2e:
 # above. A failing test or a coverage drop past the minimum fails the
 # target; raise the minima when coverage rises for keeps.
 cover-gate:
-	@out="$$($(GO) test -count=1 -cover ./internal/shard ./internal/shard/chaos ./internal/dsr)"; \
+	@out="$$($(GO) test -count=1 -cover ./internal/shard ./internal/shard/chaos ./internal/dsr ./internal/wire)"; \
 	status=$$?; echo "$$out"; \
-	echo "$$out" | awk -v ms=$(COVER_MIN_SHARD) -v mc=$(COVER_MIN_CHAOS) -v md=$(COVER_MIN_DSR) ' \
+	echo "$$out" | awk -v ms=$(COVER_MIN_SHARD) -v mc=$(COVER_MIN_CHAOS) -v md=$(COVER_MIN_DSR) -v mw=$(COVER_MIN_WIRE) ' \
 		$$1 == "FAIL" { fail = 1 } \
 		/coverage:/ { \
 			pct = ""; for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { pct = $$i; gsub("%", "", pct) } \
@@ -50,13 +51,14 @@ cover-gate:
 			if ($$2 == "dsr/internal/shard") min = ms; \
 			if ($$2 == "dsr/internal/shard/chaos") min = mc; \
 			if ($$2 == "dsr/internal/dsr") min = md; \
+			if ($$2 == "dsr/internal/wire") min = mw; \
 			if (min >= 0) { \
 				seen++; \
 				if (pct + 0 < min + 0) { printf "cover-gate: %s %.1f%% < %.1f%% minimum\n", $$2, pct, min; fail = 1 } \
 				else printf "cover-gate: %s %.1f%% (minimum %.1f%%)\n", $$2, pct, min \
 			} \
 		} \
-		END { if (seen != 3) { printf "cover-gate: expected 3 coverage lines, saw %d\n", seen; fail = 1 }; exit fail }' \
+		END { if (seen != 4) { printf "cover-gate: expected 4 coverage lines, saw %d\n", seen; fail = 1 }; exit fail }' \
 	&& [ $$status -eq 0 ]
 
 vet:
@@ -131,6 +133,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeResults$$' -fuzztime=$(FUZZ_TIME)
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeHello$$' -fuzztime=$(FUZZ_TIME)
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeSummary$$' -fuzztime=$(FUZZ_TIME)
 
 # Scan dependencies and stdlib usage against the Go vulnerability
 # database (network access required; CI installs the tool pinned).

@@ -17,12 +17,15 @@ import (
 // TestBinariesTCPEndToEnd builds the real dsr-shard and dsr-query
 // binaries, boots a 3-shard deployment on localhost, and runs a query
 // session through the CLI — the full launchable system, not just the
-// in-process transports. It repeats the whole exercise for the hash and
-// the locality partitioner (the -partitioner flag must reach both
-// binaries and agree), and finishes with a malformed-input session that
-// must exit non-zero while still answering the well-formed lines.
-// Shards listen on port 0 and the test parses the bound address from
-// their logs, so no port is assumed free.
+// in-process transports. The coordinator side is graph-free: dsr-query
+// gets nothing but -shards and learns the deployment from the shipped
+// boundary summaries. The exercise repeats for the hash and the
+// locality partitioner (which only the shards know about), checks the
+// misassembled-fleet (exit 3) and misused-flag (exit 2) paths, and
+// finishes with a malformed-input session that must exit non-zero
+// while still answering the well-formed lines. Shards listen on port 0
+// and the test parses the bound address from their logs, so no port is
+// assumed free.
 func TestBinariesTCPEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")
@@ -53,8 +56,9 @@ func TestBinariesTCPEndToEnd(t *testing.T) {
 			want := "true\nfalse\ntrue\nfalse\n"
 
 			for _, batch := range []bool{false, true} {
-				args := []string{"-graph", graphPath, "-partitioner", spec,
-					"-shards", strings.Join(addrs, ",")}
+				// Graph-free coordinator: the only thing dsr-query is told
+				// is where the shards are.
+				args := []string{"-shards", strings.Join(addrs, ",")}
 				if batch {
 					args = append(args, "-batch")
 				}
@@ -66,23 +70,40 @@ func TestBinariesTCPEndToEnd(t *testing.T) {
 					t.Errorf("dsr-query (batch=%v) output:\n%swant:\n%s", batch, out, want)
 				}
 			}
-
-			// A coordinator with a mismatched partitioner must be refused
-			// during the handshake, before any query runs.
-			if spec != "hash" {
-				args := []string{"-graph", graphPath, "-partitioner", "hash",
-					"-shards", strings.Join(addrs, ",")}
-				var stderr strings.Builder
-				_, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"), args, "0 | 7", &stderr)
-				if code == 0 {
-					t.Errorf("partitioner mismatch not rejected")
-				}
-				if !strings.Contains(stderr.String(), "different partitioning") {
-					t.Errorf("mismatch error does not name the partitioning:\n%s", stderr.String())
-				}
-			}
 		})
 	}
+
+	// A misassembled fleet — shards from two deployments with different
+	// partitionings — must be refused at connect time with the dedicated
+	// exit status 3, before any query runs.
+	t.Run("fleet-mismatch", func(t *testing.T) {
+		hashAddrs := bootShardFleet(t, bin, graphPath, 3, "hash")
+		locAddrs := bootShardFleet(t, bin, graphPath, 3, "locality:seed=7")
+		mixed := []string{hashAddrs[0], hashAddrs[1], locAddrs[2]}
+		var stderr strings.Builder
+		_, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"),
+			[]string{"-shards", strings.Join(mixed, ",")}, "0 | 7", &stderr)
+		if code != 3 {
+			t.Errorf("mixed fleet: exit code %d, want 3\nstderr:\n%s", code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "fleet mismatch") {
+			t.Errorf("mismatch error does not name the fleet mismatch:\n%s", stderr.String())
+		}
+	})
+
+	// Graph-describing flags make no sense on the graph-free coordinator
+	// and must be rejected as usage errors, not silently ignored.
+	t.Run("flag-misuse", func(t *testing.T) {
+		var stderr strings.Builder
+		_, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"),
+			[]string{"-graph", graphPath, "-shards", "127.0.0.1:1"}, "", &stderr)
+		if code != 2 {
+			t.Errorf("-graph with -shards: exit code %d, want 2\nstderr:\n%s", code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "cannot be combined with -shards") {
+			t.Errorf("usage error does not explain the conflict:\n%s", stderr.String())
+		}
+	})
 
 	// Malformed lines: per-line stderr errors, remaining queries still
 	// answered, non-zero exit (in both modes). Previously the process

@@ -109,7 +109,7 @@ func TestBinariesTCPReplicaFailover(t *testing.T) {
 	// Interactive session: answers are flushed per line, so we can
 	// lock-step the stream and kill replicas at an exact point in it.
 	query := exec.Command(filepath.Join(bin, "dsr-query"),
-		"-graph", graphPath, "-shards", strings.Join(specs, ","))
+		"-shards", strings.Join(specs, ","))
 	query.Stderr = os.Stderr
 	stdin, err := query.StdinPipe()
 	if err != nil {

@@ -1,7 +1,6 @@
-// Command dsr-query is the DSR coordinator CLI: it loads the graph,
-// connects to a fleet of dsr-shard servers (or runs everything
-// in-process when -shards is empty), and answers set-reachability
-// queries read from stdin.
+// Command dsr-query is the DSR coordinator CLI: it answers
+// set-reachability queries read from stdin, either against a fleet of
+// dsr-shard servers (-shards) or fully in-process (-graph).
 //
 // Query format, one per line:
 //
@@ -14,9 +13,20 @@
 // line number and skipped; the process still answers every well-formed
 // query but exits non-zero, so pipelines can't silently lose queries.
 //
-//	dsr-query -graph edges.txt -shards 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -batch
+//	dsr-query -shards 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -batch
 //	dsr-query -graph edges.txt -k 4                        # in-process, no servers needed
 //	dsr-query -graph edges.txt -k 4 -partitioner locality  # boundary-minimizing partitions
+//
+// With -shards the coordinator is graph-free: it takes no graph file
+// and no partitioner spec — those belong to the shards. At connect
+// time each shard ships its boundary summary (its boundary vertices,
+// entry→exit summary edges, and cross-partition edges) and the
+// coordinator stitches them into the global boundary graph; shard
+// identity comes from the handshake, and a fleet whose shards disagree
+// with each other (different graphs or partitionings) is refused with
+// exit status 3. Passing -graph, -k, or -partitioner together with
+// -shards is an error (exit status 2). -connect-timeout bounds the
+// whole connect phase; summary-fetch progress is logged to stderr.
 //
 // Replication: each comma-separated -shards entry may be a '|' group
 // of interchangeable replica servers for that partition
@@ -31,6 +41,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,6 +50,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dsr/internal/core"
 	"dsr/internal/graph"
@@ -49,38 +61,66 @@ func main() {
 	log.SetPrefix("dsr-query: ")
 	log.SetFlags(0)
 	var (
-		graphPath   = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
-		shards      = flag.String("shards", "", "comma-separated shard addresses (shard i at position i), each optionally a 'a|b' replica group; empty runs in-process")
-		k           = flag.Int("k", 4, "partition count for in-process mode (ignored with -shards)")
-		batch       = flag.Bool("batch", false, "read all queries first and answer them as one batch")
-		partitioner = flag.String("partitioner", "hash", "partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N]; with -shards it must match the servers'")
+		graphPath      = flag.String("graph", "", "edge-list file for in-process mode: one 'u v' pair per line (forbidden with -shards)")
+		shards         = flag.String("shards", "", "comma-separated shard addresses (shard i at position i), each optionally a 'a|b' replica group; empty runs in-process")
+		k              = flag.Int("k", 4, "partition count for in-process mode (forbidden with -shards)")
+		batch          = flag.Bool("batch", false, "read all queries first and answer them as one batch")
+		partitioner    = flag.String("partitioner", "hash", "in-process partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N] (forbidden with -shards)")
+		connectTimeout = flag.Duration("connect-timeout", 30*time.Second, "with -shards: time limit for dialing the fleet and fetching boundary summaries")
 	)
 	flag.Parse()
-	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "dsr-query: -graph is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	strat, err := locality.ParseSpec(*partitioner)
-	if err != nil {
-		log.Fatalf("-partitioner: %v", err)
-	}
 
-	g, err := graph.LoadEdgeListFile(*graphPath)
-	if err != nil {
-		log.Fatalf("load graph: %v", err)
-	}
 	var eng *core.Engine
 	if *shards != "" {
-		addrs := strings.Split(*shards, ",")
-		eng, err = core.NewDistributedWithPartitioner(g, strat, addrs...)
-		if err != nil {
-			log.Fatalf("connect shards: %v", err)
+		// Graph-free mode: the coordinator learns the deployment from the
+		// fleet itself. Flags that describe the graph belong to the
+		// shards; accepting them here would suggest they have an effect.
+		var rejected []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "graph", "partitioner", "k":
+				rejected = append(rejected, "-"+f.Name)
+			}
+		})
+		if len(rejected) > 0 {
+			fmt.Fprintf(os.Stderr, "dsr-query: %s cannot be combined with -shards: the coordinator is graph-free and learns the deployment from the shard fleet\n",
+				strings.Join(rejected, ", "))
+			os.Exit(2)
 		}
-		log.Printf("connected to %d shards (%s-partitioned), %d boundary vertices",
-			eng.NumPartitions(), strat.Name(), eng.NumBoundary())
+		ctx, cancel := context.WithTimeout(context.Background(), *connectTimeout)
+		var err error
+		eng, err = core.Connect(ctx, core.ClusterSpec{
+			Groups: strings.Split(*shards, ","),
+			Logf:   func(format string, args ...any) { log.Printf(format, args...) },
+		})
+		cancel()
+		if err != nil {
+			log.Printf("connect shards: %v", err)
+			var me *core.MismatchError
+			if errors.As(err, &me) {
+				// The shards disagree with each other about the deployment —
+				// a misassembled fleet, distinct from any transport failure.
+				os.Exit(3)
+			}
+			os.Exit(1)
+		}
+		log.Printf("connected to %d shards, %d boundary vertices, %d coordinator-resident bytes",
+			eng.NumPartitions(), eng.NumBoundary(), eng.ResidentBytes())
 	} else {
-		eng, err = core.NewWithPartitioner(g, *k, strat)
+		if *graphPath == "" {
+			fmt.Fprintln(os.Stderr, "dsr-query: -graph is required (in-process mode) or -shards (distributed mode)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		strat, err := locality.ParseSpec(*partitioner)
+		if err != nil {
+			log.Fatalf("-partitioner: %v", err)
+		}
+		g, err := graph.LoadEdgeListFile(*graphPath)
+		if err != nil {
+			log.Fatalf("load graph: %v", err)
+		}
+		eng, err = core.Build(g, core.Options{K: *k, Partitioner: strat})
 		if err != nil {
 			log.Fatalf("build engine: %v", err)
 		}

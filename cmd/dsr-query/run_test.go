@@ -21,7 +21,7 @@ func tinyEngine(t *testing.T) *core.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := core.New(g, 2)
+	eng, err := core.Build(g, core.Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRunQueriesPartialOutage(t *testing.T) {
 				srv.Serve(ln)
 			}(servers[i], ln)
 		}
-		eng, err := core.NewDistributed(g, addrs...)
+		eng, err := core.Connect(t.Context(), core.ClusterSpec{Groups: addrs})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,13 +4,17 @@
 //
 //	dsr-shard -graph edges.txt -shards 3 -id 0 -listen 127.0.0.1:7000 -partitioner locality
 //
-// Every shard of a deployment (and the coordinator, see dsr-query or
-// core.NewDistributed) must load the same graph file with the same
-// -shards count and the same -partitioner spec: every partitioner is
-// deterministic, so all processes agree on vertex placement and local
-// IDs without any coordination traffic. The connect-time handshake
-// rejects clients whose shard count, vertex count, graph fingerprint,
-// or partitioning digest disagrees.
+// Every shard of a deployment must load the same graph file with the
+// same -shards count and the same -partitioner spec: every partitioner
+// is deterministic, so all shards agree on vertex placement without
+// any coordination traffic. The coordinator (dsr-query, or
+// core.Connect) is graph-free — it takes only the shard addresses.
+// After the handshake each shard ships its boundary summary (boundary
+// vertices, entry→exit summary edges, cross-partition edges), which
+// the coordinator stitches into the global boundary graph; it verifies
+// the shards against each other via the handshake's vertex count,
+// graph fingerprint, and partitioning digest, and refuses a fleet
+// whose shards disagree.
 //
 // Replication: running several dsr-shard processes with the same -id
 // makes them interchangeable replicas of that partition — point the

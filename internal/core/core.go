@@ -1,28 +1,46 @@
-// Package core is the public façade over the DSR engine: build a graph
-// (or load one from an edge list), pick a partition count, and ask
-// set-reachability questions — in one process or against a fleet of
-// shard servers.
+// Package core is the public façade over the DSR engine. Two entry
+// points cover the two deployments:
 //
-//	g := ...                       // *graph.Graph
-//	eng, err := core.New(g, 4)     // 4 partitions, in-process
+// Build partitions a graph and answers queries in one process:
+//
+//	g := ...                                   // *graph.Graph
+//	eng, err := core.Build(g, core.Options{K: 4})
 //	defer eng.Close()
 //	ok := eng.Query([]graph.VertexID{0, 1}, []graph.VertexID{9})
 //
-// Distributed, against running dsr-shard servers (shard i at addrs[i],
-// all built from the same graph):
+// Connect joins a running fleet of dsr-shard servers, graph-free: the
+// coordinator needs nothing but the shard addresses. Each shard ships
+// its boundary summary at connect time and the coordinator stitches
+// them into the global boundary graph — the full graph never exists on
+// the coordinator, whose resident state scales with the boundary, not
+// the graph:
 //
-//	eng, err := core.NewDistributed(g, "host1:7000", "host2:7000", "host3:7000")
+//	eng, err := core.Connect(ctx, core.ClusterSpec{
+//	    Groups: []string{"host1:7000", "host2:7000", "host3:7000"},
+//	})
 //	defer eng.Close()
 //	answers, err := eng.QueryBatchErr([]core.Query{{S: s0, T: t0}, {S: s1, T: t1}})
 package core
 
 import (
+	"context"
+
 	"dsr/internal/dsr"
 	"dsr/internal/graph"
 )
 
 // Query pairs one source set with one target set for QueryBatch.
 type Query = dsr.Query
+
+// Options configures Build: partition count, partitioning strategy
+// (nil means graph.Hash()), or a precomputed Partitioning.
+type Options = dsr.Options
+
+// ClusterSpec describes an existing shard fleet for Connect: one
+// address spec per partition ("host:port", or "a:port|b:port" replica
+// groups), plus optional pinned expectations (graph fingerprint,
+// partitioning digest) and connect-progress logging.
+type ClusterSpec = dsr.ClusterSpec
 
 // BatchError is QueryBatchErr's partial-failure report: one entry per
 // unavailable partition plus a per-query Failed mask; answers for
@@ -32,68 +50,41 @@ type BatchError = dsr.BatchError
 // PartitionError is one unavailable partition inside a BatchError.
 type PartitionError = dsr.PartitionError
 
+// MismatchError reports a fleet whose shards disagree with each other
+// about the deployment they serve (vertex count, graph fingerprint, or
+// partitioning digest); Connect refuses such a fleet outright.
+type MismatchError = dsr.MismatchError
+
 // Engine answers set-reachability queries over a partitioned graph.
 type Engine struct {
 	inner *dsr.Engine
 }
 
-// New builds an engine over g split into k hash-partitioned parts and
-// starts its per-partition in-process shards.
-func New(g *graph.Graph, k int) (*Engine, error) {
-	return NewWithPartitioner(g, k, graph.Hash())
-}
-
-// NewWithPartitioner is New with an explicit partitioning strategy —
-// graph.Hash(), graph.Range(), or locality.New(opts) for the
-// boundary-minimizing partitioner. The strategy determines how small
-// the compressed boundary graph comes out, which is what every
-// cross-partition query pays for.
-func NewWithPartitioner(g *graph.Graph, k int, p graph.Partitioner) (*Engine, error) {
-	inner, err := dsr.NewWith(g, k, p)
+// Build partitions g per opts and starts an in-process engine over it:
+// one shard per partition, each shipping its boundary summary to the
+// coordinator over the same summary path a remote fleet uses.
+func Build(g *graph.Graph, opts Options) (*Engine, error) {
+	inner, err := dsr.Build(g, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{inner: inner}, nil
 }
 
-// NewWithPartitioning builds an engine over a caller-supplied
-// partitioning (e.g. graph.RangePartition output).
-func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error) {
-	inner, err := dsr.NewWithPartitioning(g, pt)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{inner: inner}, nil
-}
-
-// NewDistributed builds a coordinator over g hash-partitioned into
-// len(addrs) parts, with partition i served by the dsr-shard server at
-// addrs[i] — or by a replica group: addrs[i] may list several
-// interchangeable servers separated by '|' ("h1:7000|h2:7000"). With
-// replicas the coordinator load-balances rounds across healthy
-// replicas, retries a batch on a sibling when a replica fails
-// mid-query, and reconnects dead replicas in the background; a
-// partition is only unavailable once every replica of it is down, and
-// even then QueryBatchErr fails just the queries that needed it (see
-// BatchError). Every shard must have been started from the same graph
-// (and the same shard count); the handshake rejects mismatched
-// deployments, replica by replica.
-func NewDistributed(g *graph.Graph, addrs ...string) (*Engine, error) {
-	inner, err := dsr.NewDistributed(g, addrs)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{inner: inner}, nil
-}
-
-// NewDistributedWithPartitioner is NewDistributed with an explicit
-// partitioning strategy. Every shard server must have been started with
-// the identical strategy (same -partitioner spec, including any
-// locality seed): partitioners are deterministic, so identical specs
-// mean identical placements, and the handshake's partitioning digest
-// rejects anything else.
-func NewDistributedWithPartitioner(g *graph.Graph, p graph.Partitioner, addrs ...string) (*Engine, error) {
-	inner, err := dsr.NewDistributedWith(g, p, addrs)
+// Connect joins the shard fleet described by spec and builds the
+// graph-free coordinator over it: identity comes from the handshake,
+// boundary structure from the summaries the shards ship, and shards
+// that disagree with each other are refused with a *MismatchError.
+// With replica groups the coordinator routes rounds to healthy
+// replicas, retries mid-query failures on siblings, and redials dead
+// replicas; a partition is only unavailable once every replica of it is
+// down, and even then QueryBatchErr fails just the queries that needed
+// it (see BatchError).
+//
+// ctx bounds connecting (dials, handshakes, summary fetches) and
+// cancels in-flight redials on Close; it does not bound later queries.
+func Connect(ctx context.Context, spec ClusterSpec) (*Engine, error) {
+	inner, err := dsr.Connect(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +113,11 @@ func (e *Engine) NumPartitions() int { return e.inner.NumPartitions() }
 
 // NumBoundary returns the size of the compressed boundary graph.
 func (e *Engine) NumBoundary() int { return e.inner.NumBoundary() }
+
+// ResidentBytes reports the coordinator's per-graph resident footprint
+// — the stitched boundary graph. It scales with the boundary, never
+// with partition interiors.
+func (e *Engine) ResidentBytes() int { return e.inner.ResidentBytes() }
 
 // Close shuts the engine down deterministically: in-process shard
 // goroutines have exited and remote connections are closed when it

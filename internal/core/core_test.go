@@ -17,7 +17,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(g, 2)
+	e, err := Build(g, Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestFacadeWithRangePartitioning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewWithPartitioning(g, pt)
+	e, err := Build(g, Options{Partitioning: pt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestFacadeWithRangePartitioning(t *testing.T) {
 
 func TestFacadeRejectsBadK(t *testing.T) {
 	g := graph.NewBuilder(2).Build()
-	if _, err := New(g, 0); err == nil {
+	if _, err := Build(g, Options{}); err == nil {
 		t.Fatal("want error for k=0")
 	}
 }
@@ -74,12 +74,12 @@ func TestFacadeWithPartitioner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hashEng, err := NewWithPartitioner(g, 2, graph.Hash())
+	hashEng, err := Build(g, Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer hashEng.Close()
-	locEng, err := NewWithPartitioner(g, 2, locality.New(locality.Options{}))
+	locEng, err := Build(g, Options{K: 2, Partitioner: locality.New(locality.Options{})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,8 +98,8 @@ func TestFacadeWithPartitioner(t *testing.T) {
 }
 
 // TestFacadeDistributedTCP drives the distributed entry point: three
-// shard servers on localhost, a NewDistributed coordinator, and both
-// query paths.
+// shard servers on localhost, a graph-free Connect coordinator built
+// from their addresses alone, and both query paths.
 func TestFacadeDistributedTCP(t *testing.T) {
 	g, err := graph.LoadEdgeListFile(filepath.Join("..", "graph", "testdata", "tiny.txt"))
 	if err != nil {
@@ -137,7 +137,7 @@ func TestFacadeDistributedTCP(t *testing.T) {
 		wg.Wait()
 	}()
 
-	e, err := NewDistributed(g, addrs...)
+	e, err := Connect(t.Context(), ClusterSpec{Groups: addrs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestFacadeReplicatedTCP(t *testing.T) {
 		wg.Wait()
 	}()
 
-	e, err := NewDistributed(g, specs...)
+	e, err := Connect(t.Context(), ClusterSpec{Groups: specs})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,7 @@ func TestQueryBatchDifferential(t *testing.T) {
 		deg := []float64{0.5, 1, 2, 4}[rng.Intn(4)]
 		g := randomGraph(rng, n, deg)
 		k := 2 + rng.Intn(4)
-		e, err := New(g, k)
+		e, err := Build(g, Options{K: k})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +52,7 @@ func TestQueryBatchDifferential(t *testing.T) {
 func TestQueryBatchReuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	g := randomGraph(rng, 200, 2)
-	e, err := New(g, 4)
+	e, err := Build(g, Options{K: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestQueryBatchReuse(t *testing.T) {
 
 func TestQueryBatchEmpty(t *testing.T) {
 	g := build(2, [][2]graph.VertexID{{0, 1}})
-	e, err := New(g, 2)
+	e, err := Build(g, Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestQueryZeroAlloc(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(5))
 	g := randomGraph(rng, 2000, 3)
-	e, err := New(g, 4)
+	e, err := Build(g, Options{K: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestCloseStopsGoroutines(t *testing.T) {
 	g := randomGraph(rng, 500, 2)
 	before := runtime.NumGoroutine()
 	for iter := 0; iter < 5; iter++ {
-		e, err := New(g, 8)
+		e, err := Build(g, Options{K: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func BenchmarkQueryBatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const n = 10000
 	g := randomGraph(rng, n, 4)
-	e, err := New(g, 4)
+	e, err := Build(g, Options{K: 4})
 	if err != nil {
 		b.Fatal(err)
 	}

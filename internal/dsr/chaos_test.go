@@ -1,6 +1,7 @@
 package dsr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -16,7 +17,12 @@ import (
 
 // newChaosEngine builds a replicated in-process engine: R chaos-wrapped
 // local replicas per partition, each redial producing a fresh replica
-// (fresh Shard scratch) exactly like a fresh TCP connection would.
+// (fresh Shard scratch) exactly like a fresh TCP connection would. The
+// coordinator is wired through the same summary path as Build/Connect —
+// it learns the boundary structure from whichever replica of each
+// partition serves the connect-time summary fetch. Local replicas carry
+// no handshake identity, so the global vertex count is pinned
+// explicitly, exactly like Build does for its loopback shards.
 func newChaosEngine(t testing.TB, g *graph.Graph, strat graph.Partitioner, k, R int,
 	f *chaos.Faults, opts shard.ReplicatedOptions) *Engine {
 	t.Helper()
@@ -24,29 +30,35 @@ func newChaosEngine(t testing.TB, g *graph.Graph, strat graph.Partitioner, k, R 
 	if err != nil {
 		t.Fatal(err)
 	}
-	subs, local := partition.Extract(g, pt)
-	// Pre-warm the lazily cached condensations: redials may construct
-	// Shards concurrently (reconnect loop vs. in-query redial), and the
-	// cache itself is unsynchronized by design.
+	subs, _ := partition.Extract(g, pt)
+	// Pre-warm the lazily cached condensations and reachability indexes:
+	// redials may construct Shards concurrently (reconnect loop vs.
+	// in-query redial, summary fetches), and the caches themselves are
+	// unsynchronized by design.
 	for _, sub := range subs {
 		sub.Condensation(nil)
+		sub.Index(nil)
 	}
-	bg := buildBoundaryGraph(g, pt, subs)
 	groups := make([][]shard.ReplicaDialer, k)
 	for p := 0; p < k; p++ {
 		for r := 0; r < R; r++ {
 			sub := subs[p]
 			pp := p
-			groups[p] = append(groups[p], f.Dialer(p, r, func() (shard.Replica, error) {
+			groups[p] = append(groups[p], f.Dialer(p, r, func(context.Context) (shard.Replica, error) {
 				return shard.NewLocalReplica(shard.New(pp, sub)), nil
 			}))
 		}
 	}
-	tr, err := shard.NewReplicated(groups, opts)
+	tr, err := shard.NewReplicated(t.Context(), groups, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newEngine(g.NumVertices(), pt, local, bg, tr)
+	e, err := connect(t.Context(), tr, k, g.NumVertices(), nil)
+	if err != nil {
+		tr.Close()
+		t.Fatal(err)
+	}
+	return e
 }
 
 // chaosSchedule is one cell of the fault matrix.

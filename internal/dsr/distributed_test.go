@@ -1,6 +1,7 @@
 package dsr
 
 import (
+	"errors"
 	"math/rand"
 	"net"
 	"runtime"
@@ -62,11 +63,12 @@ func bootShardServersWith(t testing.TB, g *graph.Graph, k int, strat graph.Parti
 
 // TestDistributedTCPDifferential is the end-to-end check over real TCP:
 // k >= 3 shard server processes (in-process goroutines running the same
-// server code as cmd/dsr-shard) on localhost, a coordinator built with
-// NewDistributedWith, and randomized differential comparison of both
-// Query and QueryBatch against the whole-graph oracle — for both the
-// hash and the locality partitioner (shards and coordinator agreeing on
-// the strategy each time).
+// server code as cmd/dsr-shard) on localhost, a graph-free coordinator
+// built with Connect from nothing but the addresses — identity from the
+// handshake, structure from the shipped boundary summaries — and
+// randomized differential comparison of both Query and QueryBatch
+// against the whole-graph oracle, for both the hash and the locality
+// partitioner.
 func TestDistributedTCPDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
 	strategies := []graph.Partitioner{graph.Hash(), locality.New(locality.Options{Seed: 20260730})}
@@ -78,7 +80,7 @@ func TestDistributedTCPDifferential(t *testing.T) {
 			strat := strategies[gi%len(strategies)]
 			addrs, stop := bootShardServersWith(t, g, k, strat)
 
-			e, err := NewDistributedWith(g, strat, addrs)
+			e, err := Connect(t.Context(), ClusterSpec{Groups: addrs})
 			if err != nil {
 				stop()
 				t.Fatal(err)
@@ -116,33 +118,60 @@ func TestDistributedTCPDifferential(t *testing.T) {
 	}
 }
 
-// TestDistributedTCPPartitionerMismatch: a coordinator whose
-// partitioner disagrees with the shards' must be refused at connect
-// time — a silent placement disagreement would mean wrong answers, not
-// errors.
-func TestDistributedTCPPartitionerMismatch(t *testing.T) {
+// TestDistributedTCPFleetMismatch: the graph-free coordinator has no
+// graph of its own to check shards against, so consistency is enforced
+// two ways — the fleet against itself (every shard's handshake identity
+// must agree with every other shard's, surfacing as *MismatchError),
+// and optionally against a caller-pinned digest at dial time. A silent
+// placement disagreement would mean wrong answers, not errors.
+func TestDistributedTCPFleetMismatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	g := randomGraph(rng, 60, 2)
-	addrs, stop := bootShardServersWith(t, g, 3, graph.Hash())
-	defer stop()
-	if _, err := NewDistributedWith(g, locality.New(locality.Options{}), addrs); err == nil ||
-		!strings.Contains(err.Error(), "different partitioning") {
-		t.Fatalf("hash shards + locality coordinator not rejected: %v", err)
+	hashAddrs, stopHash := bootShardServersWith(t, g, 3, graph.Hash())
+	defer stopHash()
+	locAddrs, stopLoc := bootShardServersWith(t, g, 3, locality.New(locality.Options{Seed: 1}))
+	defer stopLoc()
+
+	// A frankenfleet: two hash shards plus one locality shard. The
+	// partitioning digests disagree, so Connect must refuse with a
+	// MismatchError naming the digest field.
+	mixed := []string{hashAddrs[0], hashAddrs[1], locAddrs[2]}
+	var me *MismatchError
+	if _, err := Connect(t.Context(), ClusterSpec{Groups: mixed}); !errors.As(err, &me) {
+		t.Fatalf("mixed-partitioner fleet not rejected with MismatchError: %v", err)
+	} else if me.Field != "partitioning digest" {
+		t.Fatalf("wrong mismatch field: %+v", me)
 	}
-	// Same partitioner family, different seed: still a different
-	// placement, still rejected.
-	addrs2, stop2 := bootShardServersWith(t, g, 3, locality.New(locality.Options{Seed: 1}))
-	defer stop2()
-	if _, err := NewDistributedWith(g, locality.New(locality.Options{Seed: 2}), addrs2); err == nil ||
-		!strings.Contains(err.Error(), "different partitioning") {
-		t.Fatalf("locality seed mismatch not rejected: %v", err)
-	}
-	// And the matching seed connects fine.
-	e, err := NewDistributedWith(g, locality.New(locality.Options{Seed: 1}), addrs2)
+
+	// A coherent fleet against the wrong pinned digest: refused replica
+	// by replica at dial time.
+	ptHash, err := graph.HashPartition(g, 3)
 	if err != nil {
-		t.Fatalf("matching locality deployment refused: %v", err)
+		t.Fatal(err)
 	}
-	e.Close()
+	if _, err := Connect(t.Context(), ClusterSpec{Groups: locAddrs, ExpectDigest: ptHash.Digest()}); err == nil ||
+		!strings.Contains(err.Error(), "different partitioning") {
+		t.Fatalf("wrong pinned digest not rejected: %v", err)
+	}
+	// Pinning the graph fingerprint alongside the right digest connects
+	// fine and answers correctly.
+	ptLoc, err := locality.Partition(g, 3, locality.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Connect(t.Context(), ClusterSpec{
+		Groups: locAddrs, ExpectGraph: g.Fingerprint(), ExpectDigest: ptLoc.Digest(),
+	})
+	if err != nil {
+		t.Fatalf("matching deployment refused: %v", err)
+	}
+	defer e.Close()
+	for qi := 0; qi < 5; qi++ {
+		S, T := randomSet(rng, 60, 4), randomSet(rng, 60, 4)
+		if got, want := e.Query(S, T), NaiveReach(g, S, T); got != want {
+			t.Fatalf("pinned connect query %d: got %v, oracle %v", qi, got, want)
+		}
+	}
 }
 
 // TestDistributedTCPServerLoss asserts a coordinator surfaces shard
@@ -152,7 +181,7 @@ func TestDistributedTCPServerLoss(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := randomGraph(rng, 80, 2)
 	addrs, stop := bootShardServers(t, g, 3)
-	e, err := NewDistributed(g, addrs)
+	e, err := Connect(t.Context(), ClusterSpec{Groups: addrs})
 	if err != nil {
 		stop()
 		t.Fatal(err)
@@ -191,7 +220,7 @@ func TestDistributedTCPClosesCleanly(t *testing.T) {
 	defer stop()
 	before := runtime.NumGoroutine()
 	for iter := 0; iter < 3; iter++ {
-		e, err := NewDistributed(g, addrs)
+		e, err := Connect(t.Context(), ClusterSpec{Groups: addrs})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +243,7 @@ func benchTCPEngine(b *testing.B) (*Engine, [][2][]graph.VertexID, func()) {
 	const n = 10000
 	g := randomGraph(rng, n, 4)
 	addrs, stop := bootShardServers(b, g, 3)
-	e, err := NewDistributed(g, addrs)
+	e, err := Connect(b.Context(), ClusterSpec{Groups: addrs})
 	if err != nil {
 		stop()
 		b.Fatal(err)

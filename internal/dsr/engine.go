@@ -3,9 +3,9 @@
 // in S reaches any target in T. The engine follows the DSR decomposition
 // from Gurajada & Theobald (SIGMOD 2016):
 //
-//  1. at build time each partition is compressed into boundary-to-boundary
-//     summary edges, which are stitched with the raw cross-partition edges
-//     into a global boundary graph;
+//  1. each partition is compressed into boundary-to-boundary summary
+//     edges, which are stitched with the raw cross-partition edges into
+//     a global boundary graph;
 //  2. at query time, per-partition shards run local searches (forward
 //     from S, backward from T) in parallel, and the coordinator finishes
 //     with a single search over the small boundary graph.
@@ -16,21 +16,39 @@
 // ei ~> xi hop, cross edges cover xi -> e(i+1), and the backward local
 // search marks ek; so the boundary search is exact, not approximate.
 //
-// The coordinator talks to shards only through shard.Transport: with
-// shard.Loopback everything runs in-process (goroutine workers, the
-// original engine, still allocation-free per query); with shard.Client
-// each partition lives in its own shard server process reached over
-// TCP, and the same QueryBatch path amortizes one round-trip per shard
-// across an entire batch of queries.
+// The coordinator is graph-free: it never holds the full graph. Each
+// shard compresses its own partition and ships the result — boundary
+// vertices, entry→exit summary edges, outgoing cross-partition edges —
+// as a boundary summary at connect time, and the coordinator stitches
+// the k summaries into the boundary graph. Its resident state is
+// therefore proportional to the boundary, not to the graph: partition
+// interiors exist only inside the shards.
+//
+// Two constructors cover the two deployments. Build partitions a graph
+// and runs everything in one process over shard.Loopback (the shards
+// still ship summaries — the same code path as the wire). Connect joins
+// an existing fleet of shard servers over TCP, knowing nothing but
+// their addresses: identity (vertex count, graph fingerprint,
+// partitioning digest) comes from the handshake, structure from the
+// shipped summaries, and the same QueryBatch path amortizes one
+// round-trip per shard across an entire batch of queries.
+//
+// The coordinator holds no placement data either: every task batch is
+// broadcast to all k shards with global vertex IDs, each shard runs the
+// seeds it owns and reports how many that was, and the coordinator
+// cross-checks those counts against the batch to detect uncovered seeds
+// (a shard down, or a fleet that disagrees about placement).
 package dsr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsr/internal/graph"
 	"dsr/internal/partition"
@@ -38,12 +56,34 @@ import (
 	"dsr/internal/wire"
 )
 
-// boundaryGraph is the compressed global view: vertices are the boundary
-// vertices of the partitioned graph (dense-reindexed), edges are the
-// per-partition entry->exit summaries plus the raw cross-partition edges.
+// boundaryGraph is the compressed global view stitched from the shards'
+// boundary summaries: vertices are the boundary vertices of the
+// partitioned graph, edges are the per-partition entry->exit summaries
+// plus the raw cross-partition edges. Global IDs are compressed to
+// dense ids (indices into verts); adjacency is one flat CSR arena.
 type boundaryGraph struct {
-	dense []int32 // global vertex -> dense boundary id, -1 for non-boundary
-	adj   [][]int32
+	verts  []uint32 // sorted global IDs of every boundary vertex
+	off    []int64  // CSR row offsets into arena, len(verts)+1
+	arena  []int32  // concatenated adjacency rows, dense ids
+	rowLen []int32  // live prefix of each row after in-place dedupe
+}
+
+// dense maps a global vertex ID to its dense boundary id.
+func (bg *boundaryGraph) dense(v uint32) (int32, bool) {
+	d, ok := slices.BinarySearch(bg.verts, v)
+	return int32(d), ok
+}
+
+// row returns the adjacency row of dense id d.
+func (bg *boundaryGraph) row(d int32) []int32 {
+	o := bg.off[d]
+	return bg.arena[o : o+int64(bg.rowLen[d])]
+}
+
+// residentBytes is the memory footprint of the stitched boundary graph
+// — the only per-graph state the coordinator retains.
+func (bg *boundaryGraph) residentBytes() int {
+	return 4*len(bg.verts) + 8*len(bg.off) + 4*len(bg.arena) + 4*len(bg.rowLen)
 }
 
 // parallelParts runs fn(p) for every partition p in [0, k) on a bounded
@@ -74,118 +114,115 @@ func parallelParts(k int, fn func(p int)) {
 	wg.Wait()
 }
 
-// buildBoundaryGraph compresses every partition and stitches the global
-// boundary graph. All heavy phases are parallel over partitions, which
-// is safe because every stitched edge is keyed by its *source* vertex
-// and every vertex is owned by exactly one partition: two goroutines
-// never touch the same adjacency row, degree counter, or cursor.
-func buildBoundaryGraph(g *graph.Graph, pt *graph.Partitioning, subs []*partition.Subgraph) *boundaryGraph {
-	bg := &boundaryGraph{dense: make([]int32, g.NumVertices())}
-	nb := int32(0)
-	for v := 0; v < g.NumVertices(); v++ {
-		if pt.IsBoundary(graph.VertexID(v)) {
-			bg.dense[v] = nb
-			nb++
-		} else {
-			bg.dense[v] = -1
+// stitchBoundary builds the global boundary graph from the k shards'
+// boundary summaries — nothing else. n is the global vertex count, used
+// only to range-check the summaries; the full graph is never consulted.
+//
+// The heavy phases are parallel over shards, which is safe because each
+// adjacency row is owned by exactly one shard: every stitched edge is
+// keyed by its source vertex, and the validation pass proves each
+// shard's edge sources lie in that shard's own boundary set before any
+// row is touched. The boundary sets themselves cannot overlap — a
+// duplicate across shards is rejected as a fleet inconsistency.
+func stitchBoundary(n int, sums []wire.Summary) (*boundaryGraph, error) {
+	k := len(sums)
+	total := 0
+	for p := range sums {
+		total += len(sums[p].Boundary)
+	}
+	verts := make([]uint32, 0, total)
+	for p := range sums {
+		verts = append(verts, sums[p].Boundary...)
+	}
+	slices.Sort(verts)
+	for i := 1; i < len(verts); i++ {
+		if verts[i] == verts[i-1] {
+			return nil, fmt.Errorf("dsr: boundary vertex %d claimed by two shards — the fleet was not built from one partitioning", verts[i])
 		}
 	}
-	bg.adj = make([][]int32, nb)
+	if len(verts) > 0 && int64(verts[len(verts)-1]) >= int64(n) {
+		return nil, fmt.Errorf("dsr: boundary vertex %d out of range (graph has %d vertices)", verts[len(verts)-1], n)
+	}
+	nb := len(verts)
+	bg := &boundaryGraph{verts: verts, off: make([]int64, nb+1), rowLen: make([]int32, nb)}
 
-	// Phase 1: per-partition summaries on a bounded pool. Every pool
-	// goroutine owns one Scratch sized for the largest partition and
-	// reuses it (BFS marks, scc workspace) across every partition it
-	// compresses. The cross-partition edge scan runs on this goroutine
-	// in the meantime; it reads only g and pt, which the pool never
-	// touches.
-	summaries := make([][][2]graph.VertexID, len(subs))
-	maxN := 0
-	for _, s := range subs {
-		if n := s.NumVertices(); n > maxN {
-			maxN = n
-		}
-	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < min(runtime.GOMAXPROCS(0), len(subs)); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := partition.NewScratch(maxN)
-			for p := range work {
-				summaries[p] = subs[p].Summary(sc)
+	// Validation before any stitching: each shard's edge sources must be
+	// its own boundary vertices (row ownership — the parallel count and
+	// fill below stay race-free even against a buggy or hostile shard)
+	// and each target must resolve to some shard's boundary vertex.
+	errs := make([]error, k)
+	parallelParts(k, func(p int) {
+		s := &sums[p]
+		check := func(pair [2]uint32, what string) error {
+			if _, ok := slices.BinarySearch(s.Boundary, pair[0]); !ok {
+				return fmt.Errorf("dsr: shard %d %s edge %d->%d: source is not one of its boundary vertices", p, what, pair[0], pair[1])
 			}
-		}()
-	}
-	go func() {
-		for p := range subs {
-			work <- p
+			if _, ok := bg.dense(pair[1]); !ok {
+				return fmt.Errorf("dsr: shard %d %s edge %d->%d: target is not a boundary vertex of any shard", p, what, pair[0], pair[1])
+			}
+			return nil
 		}
-		close(work)
-	}()
-	cross := make([][][2]graph.VertexID, pt.K)
-	g.Edges(func(u, v graph.VertexID) {
-		if pt.Part[u] != pt.Part[v] {
-			p := pt.Part[u]
-			cross[p] = append(cross[p], [2]graph.VertexID{u, v})
+		for _, pr := range s.Edges {
+			if errs[p] = check(pr, "summary"); errs[p] != nil {
+				return
+			}
+		}
+		for _, pr := range s.Cross {
+			if errs[p] = check(pr, "cross"); errs[p] != nil {
+				return
+			}
 		}
 	})
-	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
-	// Phase 2: count per-row degrees in parallel (rows are owned by the
-	// source vertex's partition, so no two goroutines share a counter).
+	// Count per-row degrees, lay out the CSR arena, fill rows (deg
+	// doubles as the per-row cursor), then sort + dedupe each row in
+	// place (multi-edges and entry==exit self-pairs add noise). rowLen
+	// records the live prefix, since dedupe shrinks rows inside the
+	// shared arena.
 	deg := make([]int32, nb)
-	countPart := func(p int) {
-		for _, pair := range summaries[p] {
-			deg[bg.dense[pair[0]]]++
+	parallelParts(k, func(p int) {
+		for _, pr := range sums[p].Edges {
+			d, _ := bg.dense(pr[0])
+			deg[d]++
 		}
-		for _, pair := range cross[p] {
-			deg[bg.dense[pair[0]]]++
+		for _, pr := range sums[p].Cross {
+			d, _ := bg.dense(pr[0])
+			deg[d]++
 		}
+	})
+	for i := 0; i < nb; i++ {
+		bg.off[i+1] = bg.off[i] + int64(deg[i])
 	}
-	parallelParts(pt.K, countPart)
-
-	// Phase 3: one flat arena with CSR offsets, instead of growing nb
-	// separate rows through repeated append.
-	off := make([]int64, nb+1)
-	for i := int32(0); i < nb; i++ {
-		off[i+1] = off[i] + int64(deg[i])
-	}
-	arena := make([]int32, off[nb])
-
-	// Phase 4: fill rows in parallel, reusing deg as the per-row cursor.
+	bg.arena = make([]int32, bg.off[nb])
 	clear(deg)
-	fillPart := func(p int) {
-		for _, pair := range summaries[p] {
-			d := bg.dense[pair[0]]
-			arena[off[d]+int64(deg[d])] = bg.dense[pair[1]]
+	parallelParts(k, func(p int) {
+		put := func(pr [2]uint32) {
+			d, _ := bg.dense(pr[0])
+			t, _ := bg.dense(pr[1])
+			bg.arena[bg.off[d]+int64(deg[d])] = t
 			deg[d]++
 		}
-		for _, pair := range cross[p] {
-			d := bg.dense[pair[0]]
-			arena[off[d]+int64(deg[d])] = bg.dense[pair[1]]
-			deg[d]++
+		for _, pr := range sums[p].Edges {
+			put(pr)
 		}
-	}
-	parallelParts(pt.K, fillPart)
-
-	// Phase 5: sort + dedupe every row in parallel (multi-edges and
-	// entry==exit self-pairs add noise). Each goroutine walks its own
-	// partition's vertices, so row ownership again prevents contention.
-	dedupePart := func(p int) {
-		s := subs[p]
-		for lv := int32(0); lv < int32(s.NumVertices()); lv++ {
-			d := bg.dense[s.GlobalID(lv)]
-			if d < 0 {
-				continue
-			}
-			row := arena[off[d]:off[d+1]]
+		for _, pr := range sums[p].Cross {
+			put(pr)
+		}
+	})
+	parallelParts(k, func(p int) {
+		for _, v := range sums[p].Boundary {
+			d, _ := bg.dense(v)
+			row := bg.arena[bg.off[d]:bg.off[d+1]]
 			slices.Sort(row)
-			bg.adj[d] = slices.Compact(row)
+			bg.rowLen[d] = int32(len(slices.Compact(row)))
 		}
-	}
-	parallelParts(pt.K, dedupePart)
-	return bg
+	})
+	return bg, nil
 }
 
 // Query pairs one source set with one target set for QueryBatch.
@@ -200,46 +237,105 @@ type qstate struct {
 	hit    bool    // some partition saw a local S ~> T path
 	done   bool    // answered during assembly (trivial/overlap cases)
 	ans    bool
-	failed bool // a partition this query consulted answered nothing
+	failed bool // coverage shortfall left the answer unproven
+
+	// Coverage accounting for the broadcast protocol: the coordinator
+	// expects every deduplicated in-range seed to be owned by exactly
+	// one shard. expS/expT count what the batch shipped; gotS/gotT sum
+	// the Owned counts the shards reported back. A shortfall means some
+	// seed went unsearched — a dead partition, or a fleet that disagrees
+	// about placement — and the query's `false` cannot be trusted.
+	expS, expT int
+	gotS, gotT int
+}
+
+// vset is an epoch-marked open-addressing set of vertex IDs, the
+// coordinator's per-query dedup structure. Clearing is O(1) (epoch
+// bump) and capacity is re-ensured before each query's inserts, so
+// steady-state batches allocate nothing. Unlike a direct-mapped mark
+// array it is sized to the query, not to the graph — the coordinator
+// holds no O(n) state.
+type vset struct {
+	keys  []int32
+	epoch []uint32
+	cur   uint32
+	mask  uint32
+}
+
+// begin clears the set and ensures capacity for n inserts (load factor
+// <= 1/2, so probes terminate fast and `has` can stop at an empty slot).
+func (s *vset) begin(n int) {
+	need := 4
+	for need < 2*n {
+		need <<= 1
+	}
+	if need > len(s.keys) {
+		s.keys = make([]int32, need)
+		s.epoch = make([]uint32, need)
+		s.mask = uint32(need - 1)
+		s.cur = 0
+	}
+	s.cur++
+	if s.cur == 0 { // epoch wrapped: stale marks would alias, clear them
+		clear(s.epoch)
+		s.cur = 1
+	}
+}
+
+// add inserts v, reporting whether it was absent.
+func (s *vset) add(v int32) bool {
+	i := (uint32(v) * 2654435761) & s.mask
+	for {
+		if s.epoch[i] != s.cur {
+			s.epoch[i] = s.cur
+			s.keys[i] = v
+			return true
+		}
+		if s.keys[i] == v {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// has reports whether v is in the set.
+func (s *vset) has(v int32) bool {
+	i := (uint32(v) * 2654435761) & s.mask
+	for {
+		if s.epoch[i] != s.cur {
+			return false
+		}
+		if s.keys[i] == v {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
 }
 
 // Engine answers set-reachability queries over a partitioned graph. It
-// does not retain the input *graph.Graph: after construction every edge
-// lives in the per-partition shards and the boundary graph, so the
-// original CSR can be garbage-collected.
-//
-// The engine owns the partitioning, the boundary graph, and a
-// shard.Transport; it never touches partition interiors itself. With
-// the default Loopback transport the shards are in-process goroutines;
-// with a TCP transport (NewDistributed) they are remote processes and
-// the engine is the coordinator of a genuinely distributed system.
+// is the graph-free coordinator of the DSR decomposition: its resident
+// state is the stitched boundary graph plus per-query scratch — never
+// the full graph, never any placement data. Partition interiors live
+// exclusively inside the shards, whether those are in-process (Build)
+// or remote servers (Connect).
 type Engine struct {
-	n     int // vertex count of the source graph
-	pt    *graph.Partitioning
-	local []int32
-	bg    *boundaryGraph
-	tr    shard.Transport
+	n  int // vertex count of the source graph, from build or handshake
+	k  int // partition count
+	bg *boundaryGraph
+	tr shard.Transport
 
 	mu     sync.Mutex // serializes query rounds: shards hold per-partition scratch
 	closed bool
 
-	// Reusable per-round scratch, safe under mu. Epoch-marked arrays make
-	// reuse O(1): a vertex is marked iff its entry equals the current
-	// epoch. A round fully drains the reply channel, so all of this —
-	// including the seed arenas shards read from — is quiescent between
-	// rounds.
+	// Reusable per-round scratch, safe under mu. A round fully drains
+	// the reply channel, so all of this — including the seed arena the
+	// shards read from — is quiescent between rounds.
 	replyc chan shard.Reply
-	tmark  *partition.Marks // global T-membership marks (per query)
-	smark  *partition.Marks // global S-dedup marks (per query)
+	tset   *vset // per-query T membership + dedup
+	sset   *vset // per-query S dedup
 
-	arena  [][]int32     // per-shard seed storage for the whole round
-	tasks  [][]wire.Task // per-shard task batches for the round
-	tQ, sQ []int32       // per shard: batch-query index that last touched it
-	tOff   []int         // per shard: arena offset of the current query's T seeds
-	sOff   []int         // per shard: arena offset of the current query's S seeds
-	tSl    [][]int32     // per shard: current query's T∩p local-seed slice
-	tparts []int32       // shards touched by the current query's T
-	sparts []int32       // shards touched by the current query's S
+	tasks []wire.Task // the round's batch, broadcast to every shard
+	arena []int32     // seed storage for the whole round; tasks alias it
 
 	qs     []qstate
 	single [1]Query // reusable batch for Query
@@ -249,79 +345,110 @@ type Engine struct {
 	bqueue []int32          // boundary-BFS queue
 }
 
-// New builds an engine over g split into k partitions with the default
-// deterministic hash partitioner, running on an in-process Loopback
-// transport (one goroutine shard per partition).
-func New(g *graph.Graph, k int) (*Engine, error) {
-	return NewWith(g, k, graph.Hash())
+// Options configures Build.
+type Options struct {
+	// K is the partition count. Ignored when Partitioning is set (it
+	// carries its own), except that a non-zero K must agree with it.
+	K int
+	// Partitioner is the partitioning strategy — graph.Hash(),
+	// graph.Range(), or locality.New(opts). Nil means graph.Hash().
+	Partitioner graph.Partitioner
+	// Partitioning, if non-nil, supplies a precomputed vertex-to-
+	// partition assignment instead of a strategy. Only K and Part are
+	// consulted; the Entry/Exit boundary marks are recomputed from the
+	// edge set, so a hand-rolled partitioning cannot smuggle in marks
+	// that disagree with the graph.
+	Partitioning *graph.Partitioning
 }
 
-// NewWith is New with an explicit partitioning strategy (graph.Hash,
-// graph.Range, or locality.New): the strategy decides which vertices
-// are boundary vertices, and therefore how small the boundary graph —
-// the part of the system every cross-partition query pays for — comes
-// out.
-func NewWith(g *graph.Graph, k int, p graph.Partitioner) (*Engine, error) {
-	pt, err := p.Partition(g, k)
+// Build partitions g and builds an in-process engine over it: one
+// shard.Loopback shard per partition, each of which compresses its
+// partition and ships a boundary summary exactly as a remote shard
+// would — Build and Connect share the summary-stitching path, the only
+// difference is the transport underneath.
+func Build(g *graph.Graph, o Options) (*Engine, error) {
+	var pt *graph.Partitioning
+	var err error
+	if o.Partitioning != nil {
+		if o.K != 0 && o.K != o.Partitioning.K {
+			return nil, fmt.Errorf("dsr: Options.K = %d conflicts with Partitioning.K = %d", o.K, o.Partitioning.K)
+		}
+		if len(o.Partitioning.Part) != g.NumVertices() {
+			return nil, fmt.Errorf("dsr: partitioning covers %d vertices, graph has %d", len(o.Partitioning.Part), g.NumVertices())
+		}
+		labels := o.Partitioning.Part
+		pt, err = graph.PartitionWith(g, o.Partitioning.K, func(v graph.VertexID, _, _ int) int32 { return labels[v] })
+	} else {
+		p := o.Partitioner
+		if p == nil {
+			p = graph.Hash()
+		}
+		pt, err = p.Partition(g, o.K)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return newLoopbackEngine(g, pt), nil
-}
-
-// NewWithPartitioning builds an engine over a pre-partitioned graph.
-// Only pt.K and pt.Part are consulted; the Entry/Exit boundary marks are
-// recomputed from the edge set, so hand-rolled partitionings cannot
-// smuggle in marks that disagree with the graph.
-func NewWithPartitioning(g *graph.Graph, pt *graph.Partitioning) (*Engine, error) {
-	if len(pt.Part) != g.NumVertices() {
-		return nil, fmt.Errorf("dsr: partitioning covers %d vertices, graph has %d", len(pt.Part), g.NumVertices())
+	subs, _ := partition.Extract(g, pt)
+	shards := make([]*shard.Shard, len(subs))
+	for i, s := range subs {
+		shards[i] = shard.New(i, s)
 	}
-	labels := pt.Part
-	pt, err := graph.PartitionWith(g, pt.K, func(v graph.VertexID, _, _ int) int32 { return labels[v] })
+	lb := shard.NewLoopback(shards)
+	e, err := connect(context.Background(), lb, pt.K, g.NumVertices(), nil)
 	if err != nil {
+		lb.Close()
 		return nil, err
 	}
-	return newLoopbackEngine(g, pt), nil
+	return e, nil
 }
 
-// NewDistributed builds a coordinator over g hash-partitioned into
-// len(addrs) parts, where partition i is served by the shard server(s)
-// at addrs[i]. See NewDistributedWith for the contract.
-func NewDistributed(g *graph.Graph, addrs []string) (*Engine, error) {
-	return NewDistributedWith(g, graph.Hash(), addrs)
+// ClusterSpec describes an existing fleet of shard servers for Connect.
+// It carries addresses and optional expectations — no graph: everything
+// structural comes from the fleet itself.
+type ClusterSpec struct {
+	// Groups lists one address spec per partition, in partition order.
+	// Groups[i] may name several interchangeable replica servers
+	// separated by '|' ("host1:7000|host2:7000"); with replicas the
+	// coordinator routes each round to a healthy one, retries on a
+	// sibling when a replica fails mid-query, and redials dead replicas,
+	// so a partition is only unavailable when every replica is down.
+	Groups []string
+	// ExpectGraph, if non-zero, pins the graph fingerprint
+	// (graph.Fingerprint): any shard built from a different edge set is
+	// refused at dial time. Zero trusts the fleet's own cross-check.
+	ExpectGraph uint64
+	// ExpectDigest, if non-zero, pins the partitioning digest
+	// (graph.Partitioning.Digest) the same way.
+	ExpectDigest uint64
+	// ReconnectEvery is the background redial cadence for dead replicas
+	// (replicated deployments only): 0 means the default, negative
+	// disables background reconnection (dead replicas are then only
+	// redialed on demand, when a round needs them).
+	ReconnectEvery time.Duration
+	// Logf, if non-nil, receives human-readable connect progress — one
+	// line per shard summary fetched, one for the stitched result.
+	Logf func(format string, args ...any)
 }
 
-// NewDistributedWith builds a coordinator over g partitioned by p into
-// len(addrs) parts, where partition i is served by the shard server at
-// addrs[i] — or by a replica group: addrs[i] may name several
-// interchangeable servers separated by '|' ("host1:7000|host2:7000"),
-// in which case the coordinator routes each round to a healthy replica,
-// retries a batch on a sibling when a replica fails mid-query, and
-// periodically reconnects dead replicas. With replicas a partition is
-// only unavailable (surfacing as QueryBatchErr's *BatchError) when
-// every replica of it is down.
+// Connect joins an existing shard fleet and builds the graph-free
+// coordinator over it. The coordinator never sees the graph: shard
+// identity (vertex count, graph fingerprint, partitioning digest) comes
+// from the TCP handshake, the boundary structure from the summaries
+// every shard ships on request, and the k summaries are stitched into
+// the boundary graph locally. Shards that disagree with each other
+// about the deployment are refused with a *MismatchError.
 //
-// The coordinator builds the boundary graph locally (it has the full
-// graph anyway) and verifies during the handshake that every shard —
-// every replica — was built for the same shard count, vertex count,
-// graph fingerprint, and, because every Partitioner is deterministic,
-// the same partitioning digest, so both sides agree on vertex placement
-// and local IDs without shipping any placement data.
-func NewDistributedWith(g *graph.Graph, p graph.Partitioner, addrs []string) (*Engine, error) {
-	if len(addrs) == 0 {
+// ctx bounds connecting — dialing, handshakes, and the summary fetch —
+// and cancels in-flight redials when the engine is closed; it does not
+// bound later queries.
+func Connect(ctx context.Context, spec ClusterSpec) (*Engine, error) {
+	if len(spec.Groups) == 0 {
 		return nil, fmt.Errorf("dsr: no shard addresses")
 	}
-	groups, err := shard.ParseGroups(addrs)
+	groups, err := shard.ParseGroups(spec.Groups)
 	if err != nil {
 		return nil, err
 	}
-	pt, err := p.Partition(g, len(addrs))
-	if err != nil {
-		return nil, err
-	}
-	subs, local := partition.Extract(g, pt)
-	bg := buildBoundaryGraph(g, pt, subs)
 	replicated := false
 	for _, grp := range groups {
 		if len(grp) > 1 {
@@ -331,72 +458,140 @@ func NewDistributedWith(g *graph.Graph, p graph.Partitioner, addrs []string) (*E
 	}
 	var tr shard.Transport
 	if replicated {
-		tr, err = shard.DialReplicated(groups, g.NumVertices(), g.Fingerprint(), pt.Digest(), shard.ReplicatedOptions{})
+		tr, err = shard.DialReplicated(ctx, groups, -1, spec.ExpectGraph, spec.ExpectDigest,
+			shard.ReplicatedOptions{ReconnectEvery: spec.ReconnectEvery})
 	} else {
 		// Single-replica deployments keep the plain per-shard connection:
-		// same failure semantics as before, no per-submit goroutine. Dial
-		// the parsed (trimmed) addresses, not the raw specs.
+		// same failure semantics, no per-submit goroutine. Dial the
+		// parsed (trimmed) addresses, not the raw specs.
 		single := make([]string, len(groups))
 		for i, grp := range groups {
 			single[i] = grp[0]
 		}
-		tr, err = shard.Dial(single, g.NumVertices(), g.Fingerprint(), pt.Digest())
+		tr, err = shard.Dial(ctx, single, -1, spec.ExpectGraph, spec.ExpectDigest)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(g.NumVertices(), pt, local, bg, tr), nil
-}
-
-// newLoopbackEngine trusts pt (labels in range, boundary marks
-// consistent with the edges): extracts per-partition subgraphs,
-// compresses them into the boundary graph, and starts one in-process
-// shard per partition.
-func newLoopbackEngine(g *graph.Graph, pt *graph.Partitioning) *Engine {
-	subs, local := partition.Extract(g, pt)
-	bg := buildBoundaryGraph(g, pt, subs)
-	shards := make([]*shard.Shard, len(subs))
-	for i, s := range subs {
-		shards[i] = shard.New(i, s)
+	e, err := connect(ctx, tr, len(groups), -1, spec.Logf)
+	if err != nil {
+		tr.Close()
+		return nil, err
 	}
-	return newEngine(g.NumVertices(), pt, local, bg, shard.NewLoopback(shards))
+	return e, nil
 }
 
-// newEngine wires a coordinator over an already-built boundary graph
+// connect is the shared back half of Build and Connect: fetch every
+// shard's boundary summary over tr, cross-check the fleet's handshake
+// identities against each other, stitch, and wire the engine. n >= 0
+// pins the global vertex count (transports without a handshake, e.g.
+// in-process shards); n < 0 derives it from the hellos.
+func connect(ctx context.Context, tr shard.Transport, k, n int, logf func(string, ...any)) (*Engine, error) {
+	infos := make([]shard.SummaryInfo, k)
+	errs := make([]error, k)
+	parallelParts(k, func(p int) {
+		infos[p], errs[p] = tr.Summary(ctx, p)
+		if errs[p] == nil && logf != nil {
+			s := &infos[p].Summary
+			logf("shard %d/%d: summary received (%d boundary vertices, %d summary edges, %d cross edges)",
+				p+1, k, len(s.Boundary), len(s.Edges), len(s.Cross))
+		}
+	})
+	for p, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dsr: shard %d summary: %w", p, err)
+		}
+	}
+
+	// Cross-check: every shard that presented a handshake identity must
+	// agree with every other. Shards without one (in-process replicas
+	// report a zero Hello) opt out; zero fingerprints/digests mean "not
+	// computed" and skip that field, mirroring the handshake itself.
+	ref := -1
+	for p := range infos {
+		h := infos[p].Hello
+		if h.NumShards == 0 {
+			continue
+		}
+		if ref < 0 {
+			ref = p
+			continue
+		}
+		rh := infos[ref].Hello
+		switch {
+		case h.NumVertices != rh.NumVertices:
+			return nil, &MismatchError{Field: "vertex count", PartA: ref, PartB: p,
+				A: uint64(rh.NumVertices), B: uint64(h.NumVertices)}
+		case h.Graph != 0 && rh.Graph != 0 && h.Graph != rh.Graph:
+			return nil, &MismatchError{Field: "graph fingerprint", PartA: ref, PartB: p, A: rh.Graph, B: h.Graph}
+		case h.Partitioning != 0 && rh.Partitioning != 0 && h.Partitioning != rh.Partitioning:
+			return nil, &MismatchError{Field: "partitioning digest", PartA: ref, PartB: p, A: rh.Partitioning, B: h.Partitioning}
+		}
+	}
+	if n < 0 {
+		if ref < 0 {
+			return nil, fmt.Errorf("dsr: no shard reported its identity; cannot derive the vertex count")
+		}
+		n = int(infos[ref].Hello.NumVertices)
+	}
+	// Pin the verified fleet identity on the transport, so every future
+	// redial of an individual replica is held to what the fleet reported
+	// at connect time — not just to what the caller chose to expect.
+	if r, ok := tr.(*shard.Replicated); ok && ref >= 0 {
+		r.Pin(shard.Expect{
+			NumVertices: n,
+			Graph:       infos[ref].Hello.Graph,
+			Part:        infos[ref].Hello.Partitioning,
+		})
+	}
+	sums := make([]wire.Summary, k)
+	for p := range infos {
+		sums[p] = infos[p].Summary
+	}
+	bg, err := stitchBoundary(n, sums)
+	if err != nil {
+		return nil, err
+	}
+	if logf != nil {
+		logf("boundary graph stitched: %d vertices, %d edges, %d coordinator-resident bytes",
+			len(bg.verts), len(bg.arena), bg.residentBytes())
+	}
+	return newEngine(n, k, bg, tr), nil
+}
+
+// newEngine wires a coordinator over an already-stitched boundary graph
 // and transport.
-func newEngine(n int, pt *graph.Partitioning, local []int32, bg *boundaryGraph, tr shard.Transport) *Engine {
-	e := &Engine{
+func newEngine(n, k int, bg *boundaryGraph, tr shard.Transport) *Engine {
+	return &Engine{
 		n:      n,
-		pt:     pt,
-		local:  local,
+		k:      k,
 		bg:     bg,
 		tr:     tr,
-		replyc: make(chan shard.Reply, pt.K),
-		tmark:  partition.NewMarks(n),
-		smark:  partition.NewMarks(n),
-		arena:  make([][]int32, pt.K),
-		tasks:  make([][]wire.Task, pt.K),
-		tQ:     make([]int32, pt.K),
-		sQ:     make([]int32, pt.K),
-		tOff:   make([]int, pt.K),
-		sOff:   make([]int, pt.K),
-		tSl:    make([][]int32, pt.K),
+		replyc: make(chan shard.Reply, k),
+		tset:   &vset{},
+		sset:   &vset{},
+		bvisit: partition.NewMarks(len(bg.verts)),
+		bgoal:  partition.NewMarks(len(bg.verts)),
 	}
-	e.bvisit = partition.NewMarks(len(e.bg.adj))
-	e.bgoal = partition.NewMarks(len(e.bg.adj))
-	return e
 }
 
 // NumPartitions returns the partition count.
-func (e *Engine) NumPartitions() int { return e.pt.K }
+func (e *Engine) NumPartitions() int { return e.k }
 
 // NumBoundary returns the number of vertices in the boundary graph.
-func (e *Engine) NumBoundary() int { return len(e.bg.adj) }
+func (e *Engine) NumBoundary() int { return len(e.bg.verts) }
+
+// ResidentBytes reports the coordinator's per-graph resident footprint:
+// the stitched boundary graph. It scales with boundary size only —
+// growing partition interiors (vertices and edges that never cross a
+// partition border) leaves it unchanged, which is the point of the
+// graph-free coordinator.
+func (e *Engine) ResidentBytes() int { return e.bg.residentBytes() }
 
 // Close shuts the transport down deterministically: in-process shard
 // goroutines have exited (and TCP connections are closed with their
-// reader goroutines joined) by the time it returns. The engine must not
-// be queried after Close.
+// reader goroutines joined, in-flight redials cancelled) by the time it
+// returns. The engine must not be queried after Close.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -455,17 +650,17 @@ func (e *Engine) QueryBatch(queries []Query) []bool {
 // a partition fails only the queries that needed it, not the batch.
 //
 // When the error is a *BatchError, the returned answers are still
-// valid for every query i with err.Failed[i] == false — queries that
-// never consulted a dead partition, plus queries a dead partition
-// could not change (a local hit or boundary path already proved them
-// true; missing data only ever hides paths). Failed queries have no
-// trustworthy answer and read false. A partition counts as dead
-// whenever it delivered no usable reply, whether the connection
-// dropped or the server reported an error (e.g. a mismatch it
-// detected); with replicas, only after every replica failed. Any other
-// non-nil error — malformed content in a reply that did arrive, or a
-// closed transport — invalidates the whole batch and the answers are
-// nil.
+// valid for every query i with err.Failed[i] == false — queries whose
+// seeds the surviving partitions fully covered, plus queries a dead
+// partition could not change (a local hit or boundary path already
+// proved them true; missing data only ever hides paths). Failed queries
+// have no trustworthy answer and read false. A partition counts as dead
+// whenever it delivered no usable reply, whether the connection dropped
+// or the server reported an error; with replicas, only after every
+// replica failed. Any other non-nil error — malformed content in a
+// reply that did arrive, or a fleet that fails to cover the batch's
+// seeds without any partition erroring — invalidates the whole batch
+// and the answers are nil.
 func (e *Engine) QueryBatchErr(queries []Query) ([]bool, error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -496,136 +691,107 @@ func (e *Engine) queryBatch(queries []Query) error {
 	for len(e.qs) < len(queries) {
 		e.qs = append(e.qs, qstate{})
 	}
-	for p := 0; p < e.pt.K; p++ {
-		e.arena[p] = e.arena[p][:0]
-		e.tasks[p] = e.tasks[p][:0]
-		e.tQ[p], e.sQ[p] = -1, -1
-	}
+	e.tasks = e.tasks[:0]
+	e.arena = e.arena[:0]
 
-	// Assembly: group every query's S and T by partition as local seed
-	// sets, using epoch marks for T membership and S dedup and reused
-	// per-shard arenas instead of per-query maps. Slices handed to tasks
-	// alias the arenas; later appends may grow an arena, but the
-	// abandoned backing array keeps the already-written seeds, so
-	// earlier slices stay valid.
+	// Assembly: deduplicate every query's S and T into the shared seed
+	// arena and emit one Forward and one Backward task per undecided
+	// query, with global vertex IDs. There is no per-partition grouping
+	// — the coordinator has no placement data; shards skip the seeds
+	// they don't own. Task slices alias the arena; later appends may
+	// grow it, but the abandoned backing array keeps the already-written
+	// seeds, so earlier slices stay valid.
 	for i := range queries {
 		q := &queries[i]
 		st := &e.qs[i]
 		st.seeds, st.goals = st.seeds[:0], st.goals[:0]
 		st.hit, st.done, st.ans, st.failed = false, false, false, false
-		e.tmark.Reset()
-		e.smark.Reset()
-		e.tparts = e.tparts[:0]
-		e.sparts = e.sparts[:0]
+		st.expS, st.expT, st.gotS, st.gotT = 0, 0, 0, 0
+		e.tset.begin(len(q.T))
+		tOff := len(e.arena)
 		for _, t := range q.T {
-			if t >= n || !e.tmark.Mark(int32(t)) {
+			if t >= n || !e.tset.add(int32(t)) {
 				continue
 			}
-			p := e.pt.Part[t]
-			if e.tQ[p] != int32(i) {
-				e.tQ[p] = int32(i)
-				e.tOff[p] = len(e.arena[p])
-				e.tparts = append(e.tparts, p)
-			}
-			e.arena[p] = append(e.arena[p], e.local[t])
+			e.arena = append(e.arena, int32(t))
 		}
-		if len(e.tparts) == 0 {
+		tSl := e.arena[tOff:len(e.arena):len(e.arena)]
+		if len(tSl) == 0 {
 			st.done = true
 			continue
 		}
-		// Capture the T slices now: the S scan below appends to the same
-		// arenas.
-		for _, p := range e.tparts {
-			e.tSl[p] = e.arena[p][e.tOff[p]:len(e.arena[p])]
-		}
+		e.sset.begin(len(q.S))
+		sOff := len(e.arena)
 		for _, s := range q.S {
-			// smark dedupes S the way tmark dedupes T: duplicate sources
-			// would otherwise inflate the per-partition seed sets.
-			if s >= n || !e.smark.Mark(int32(s)) {
+			if s >= n || !e.sset.add(int32(s)) {
 				continue
 			}
-			if e.tmark.Seen(int32(s)) {
+			if e.tset.has(int32(s)) {
 				st.done, st.ans = true, true
 				break
 			}
-			p := e.pt.Part[s]
-			if e.sQ[p] != int32(i) {
-				e.sQ[p] = int32(i)
-				e.sOff[p] = len(e.arena[p])
-				e.sparts = append(e.sparts, p)
-			}
-			e.arena[p] = append(e.arena[p], e.local[s])
+			e.arena = append(e.arena, int32(s))
 		}
 		if st.done {
 			continue
 		}
-		if len(e.sparts) == 0 {
+		sSl := e.arena[sOff:len(e.arena):len(e.arena)]
+		if len(sSl) == 0 {
 			st.done = true
 			continue
 		}
-		for _, p := range e.sparts {
-			var targets []int32
-			if e.tQ[p] == int32(i) {
-				targets = e.tSl[p]
-			}
-			e.tasks[p] = append(e.tasks[p], wire.Task{
-				Kind:    wire.Forward,
-				Query:   uint32(i),
-				Seeds:   e.arena[p][e.sOff[p]:len(e.arena[p])],
-				Targets: targets,
-			})
-		}
-		for _, p := range e.tparts {
-			e.tasks[p] = append(e.tasks[p], wire.Task{
-				Kind:  wire.Backward,
-				Query: uint32(i),
-				Seeds: e.tSl[p],
-			})
-		}
+		e.tasks = append(e.tasks,
+			wire.Task{Kind: wire.Forward, Query: uint32(i), Seeds: sSl, Targets: tSl},
+			wire.Task{Kind: wire.Backward, Query: uint32(i), Seeds: tSl})
+		st.expS, st.expT = len(sSl), len(tSl)
 	}
 
-	// Fan out: one Submit per touched shard carries the whole batch.
+	// Fan out: broadcast the one task batch to every shard. Which shard
+	// owns which seed is the shards' business.
 	nsub := 0
-	for p := 0; p < e.pt.K; p++ {
-		if len(e.tasks[p]) > 0 {
-			e.tr.Submit(p, e.tasks[p], e.replyc)
-			nsub++
+	if len(e.tasks) > 0 {
+		for p := 0; p < e.k; p++ {
+			e.tr.Submit(p, e.tasks, e.replyc)
 		}
+		nsub = e.k
 	}
 
 	// Fan in: exits reached from S seed each query's boundary search;
-	// entries that locally reach T are its goals. The reply channel is
-	// always drained in full — the shared arenas and shard result
-	// buffers must be quiescent before the next round rewrites them —
-	// and failures are collected rather than aborting the drain. A
-	// partition that answered nothing — connection loss, or a
-	// server-reported error that broke the connection; on a replicated
-	// transport, every replica failing — is a partial failure marking
-	// only the queries that consulted that partition. Malformed content
-	// inside a reply that did arrive (a shard disagreeing about the
-	// batch shape or the boundary set) poisons the whole round via
-	// terr: such a shard cannot be trusted retroactively.
+	// entries that locally reach T are its goals; Owned counts feed the
+	// coverage ledger. The reply channel is always drained in full — the
+	// shared arena and shard result buffers must be quiescent before the
+	// next round rewrites them — and failures are collected rather than
+	// aborting the drain. A partition that answered nothing is a partial
+	// failure; which queries that actually fails falls out of coverage
+	// below. Malformed content inside a reply that did arrive (a shard
+	// disagreeing about the batch shape or the boundary set) poisons the
+	// whole round via terr: such a shard cannot be trusted retroactively.
 	var perr []PartitionError
 	var terr error
 	for r := 0; r < nsub; r++ {
 		rep := <-e.replyc
 		if rep.Err != nil {
 			perr = append(perr, PartitionError{Partition: rep.Shard, Err: rep.Err})
-			for ti := range e.tasks[rep.Shard] {
-				e.qs[e.tasks[rep.Shard][ti].Query].failed = true
-			}
+			continue
+		}
+		if len(rep.Results) != len(e.tasks) {
+			terr = fmt.Errorf("dsr: shard %d answered %d results for a %d-task batch", rep.Shard, len(rep.Results), len(e.tasks))
 			continue
 		}
 		for ri := range rep.Results {
 			res := &rep.Results[ri]
-			// A result that doesn't map back onto this batch or the
-			// boundary graph means the remote shard disagrees about the
-			// graph; fail the round instead of panicking or mis-answering.
 			if int(res.Query) >= len(queries) {
 				terr = fmt.Errorf("dsr: shard %d answered query %d of a %d-query batch", rep.Shard, res.Query, len(queries))
 				continue
 			}
 			st := &e.qs[res.Query]
+			// Coverage first, even when the answer is already known: the
+			// ledger must reflect every reply that arrived.
+			if res.Kind == wire.Forward {
+				st.gotS += int(res.Owned)
+			} else {
+				st.gotT += int(res.Owned)
+			}
 			if st.hit {
 				continue // answer already known; skip the moot bookkeeping
 			}
@@ -634,11 +800,11 @@ func (e *Engine) queryBatch(queries []Query) error {
 				continue
 			}
 			for _, v := range res.Boundary {
-				if v >= uint32(e.n) || e.bg.dense[v] < 0 {
+				d, ok := e.bg.dense(v)
+				if !ok {
 					terr = fmt.Errorf("dsr: shard %d reported non-boundary vertex %d", rep.Shard, v)
 					break
 				}
-				d := e.bg.dense[v]
 				if res.Kind == wire.Forward {
 					st.seeds = append(st.seeds, d)
 				} else {
@@ -652,27 +818,35 @@ func (e *Engine) queryBatch(queries []Query) error {
 	}
 
 	// Final pass: one BFS over the compressed boundary graph per
-	// undecided query. Goal/visited marks reset in O(1) per query via
-	// epochs, and the queue's capacity is shared across the whole batch.
-	// Queries that consulted a dead partition still run on whatever the
-	// surviving partitions reported: results can only be missing, never
-	// wrong, so reaching a goal proves the query true and un-fails it —
-	// only a `false` built on incomplete data stays failed.
+	// undecided query, then the coverage verdict. Queries that lost a
+	// partition still run on whatever the survivors reported: results
+	// can only be missing, never wrong, so a local hit or a boundary
+	// path proves the query true regardless of shortfall — only a
+	// `false` built on incomplete coverage is untrustworthy and fails.
+	anyFailed := false
 	for i := range queries {
 		st := &e.qs[i]
 		if st.done {
 			continue
 		}
 		if st.hit {
-			st.ans, st.failed = true, false
+			st.ans = true
 			continue
 		}
-		if len(st.seeds) == 0 || len(st.goals) == 0 {
+		if len(st.seeds) > 0 && len(st.goals) > 0 && e.boundaryReach(st.seeds, st.goals) {
+			st.ans = true
 			continue
 		}
-		if e.boundaryReach(st.seeds, st.goals) {
-			st.ans, st.failed = true, false
+		if st.gotS < st.expS || st.gotT < st.expT {
+			st.failed = true
+			anyFailed = true
 		}
+	}
+	if anyFailed && perr == nil {
+		// Every shard answered, yet some seed was owned by none of them:
+		// the fleet disagrees with itself about placement. That is not a
+		// per-partition outage, it poisons the whole round.
+		return fmt.Errorf("dsr: fleet does not cover the batch's seeds (inconsistent partitioning across shards)")
 	}
 	if perr != nil {
 		slices.SortFunc(perr, func(a, b PartitionError) int { return a.Partition - b.Partition })
@@ -705,7 +879,7 @@ func (e *Engine) boundaryReach(seeds, goals []int32) bool {
 		}
 	}
 	for head := 0; head < len(queue); head++ {
-		for _, w := range e.bg.adj[queue[head]] {
+		for _, w := range e.bg.row(queue[head]) {
 			if e.bvisit.Mark(w) {
 				if e.bgoal.Seen(w) {
 					return true

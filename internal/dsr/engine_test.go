@@ -25,7 +25,7 @@ func TestQueryHandBuilt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewWithPartitioning(g, pt)
+	e, err := Build(g, Options{Partitioning: pt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestQueryDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, err := NewWithPartitioning(g, pt)
+		e, err := Build(g, Options{Partitioning: pt})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestQueryDifferential(t *testing.T) {
 // sets are empty or a partition has no vertices at all.
 func TestQuerySingleVertexGraphs(t *testing.T) {
 	g := build(1, nil)
-	e, err := New(g, 4) // more partitions than vertices
+	e, err := Build(g, Options{K: 4}) // more partitions than vertices
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestQuerySingleVertexGraphs(t *testing.T) {
 
 func TestQueryAfterClose(t *testing.T) {
 	g := build(2, [][2]graph.VertexID{{0, 1}})
-	e, err := New(g, 2)
+	e, err := Build(g, Options{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,20 +156,20 @@ func TestQueryAfterClose(t *testing.T) {
 	e.Query([]graph.VertexID{0}, []graph.VertexID{1})
 }
 
-func TestNewWithPartitioningMismatch(t *testing.T) {
+func TestBuildPartitioningMismatch(t *testing.T) {
 	g := build(3, [][2]graph.VertexID{{0, 1}})
 	pt, err := graph.HashPartition(build(5, nil), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewWithPartitioning(g, pt); err == nil {
+	if _, err := Build(g, Options{Partitioning: pt}); err == nil {
 		t.Fatal("want error for mismatched partitioning")
 	}
 	// Hand-rolled partitioning with absent (or wrong) boundary marks is
 	// normalized: marks are recomputed from the edge set, so the engine
 	// still answers correctly instead of panicking or mis-answering.
 	bare := &graph.Partitioning{K: 2, Part: []int32{0, 1, 0}}
-	e, err := NewWithPartitioning(g, bare)
+	e, err := Build(g, Options{Partitioning: bare})
 	if err != nil {
 		t.Fatalf("bare partitioning rejected: %v", err)
 	}
@@ -182,8 +182,13 @@ func TestNewWithPartitioningMismatch(t *testing.T) {
 	}
 	// Partition labels outside [0, K) must be rejected, not panic.
 	oob := &graph.Partitioning{K: 2, Part: []int32{0, 5, 0}}
-	if _, err := NewWithPartitioning(g, oob); err == nil {
+	if _, err := Build(g, Options{Partitioning: oob}); err == nil {
 		t.Fatal("want error for out-of-range partition label")
+	}
+	// An explicit K that disagrees with the supplied partitioning is a
+	// caller bug, not something to silently resolve either way.
+	if _, err := Build(g, Options{K: 3, Partitioning: bare}); err == nil {
+		t.Fatal("want error for K conflicting with Partitioning.K")
 	}
 }
 
@@ -193,7 +198,7 @@ func BenchmarkQuery(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const n = 10000
 	g := randomGraph(rng, n, 4)
-	e, err := New(g, 4)
+	e, err := Build(g, Options{K: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -222,7 +227,7 @@ func BenchmarkIndexBuild(b *testing.B) {
 	g := randomGraph(rng, n, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e, err := New(g, 4)
+		e, err := Build(g, Options{K: 4})
 		if err != nil {
 			b.Fatal(err)
 		}

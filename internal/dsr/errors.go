@@ -5,6 +5,22 @@ import (
 	"strings"
 )
 
+// MismatchError reports two shards of one fleet that disagree about the
+// deployment they serve — different vertex counts, graph fingerprints,
+// or partitioning digests. Connect refuses such a fleet outright: the
+// coordinator holds no graph of its own to arbitrate with, and a
+// placement disagreement would mean silently wrong answers, not errors.
+type MismatchError struct {
+	Field        string // "vertex count", "graph fingerprint", "partitioning digest"
+	PartA, PartB int    // the two disagreeing partitions
+	A, B         uint64 // their reported values
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("dsr: fleet mismatch: shard %d reports %s %#x, shard %d reports %#x",
+		e.PartA, e.Field, e.A, e.PartB, e.B)
+}
+
 // PartitionError is one partition that answered nothing for a batch
 // round: on a replicated transport this means every replica of the
 // partition failed (Err carries the per-replica detail, see

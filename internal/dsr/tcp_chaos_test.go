@@ -98,7 +98,7 @@ func TestChaosTCPDifferential(t *testing.T) {
 				})
 				defer stop()
 
-				e, err := NewDistributedWith(g, strat, specs)
+				e, err := Connect(t.Context(), ClusterSpec{Groups: specs})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -136,7 +136,7 @@ func TestChaosTCPPartitionDownAndRecovery(t *testing.T) {
 		func(p, r int) chaos.ProxyOptions { return chaos.ProxyOptions{Seed: int64(p*10 + r)} })
 	defer stop()
 
-	e, err := NewDistributedWith(g, graph.Hash(), specs)
+	e, err := Connect(t.Context(), ClusterSpec{Groups: specs})
 	if err != nil {
 		t.Fatal(err)
 	}

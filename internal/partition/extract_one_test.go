@@ -57,8 +57,40 @@ func TestExtractOneMatchesExtract(t *testing.T) {
 			if !slices.Equal(one.Exits, want.Exits) {
 				t.Fatalf("iter %d part %d: Exits %v, want %v", iter, p, one.Exits, want.Exits)
 			}
+			if !samePairSet(one.Cross, want.Cross) {
+				t.Fatalf("iter %d part %d: Cross %v, want %v", iter, p, one.Cross, want.Cross)
+			}
+			for lv := int32(0); lv < int32(want.NumVertices()); lv++ {
+				if got, ok := one.Local(one.GlobalID(lv)); !ok || got != lv {
+					t.Fatalf("iter %d part %d: Local(GlobalID(%d)) = %d,%v", iter, p, lv, got, ok)
+				}
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				_, owned := one.Local(graph.VertexID(v))
+				if owned != (pt.Part[v] == int32(p)) {
+					t.Fatalf("iter %d part %d: Local(%d) ownership %v, want %v", iter, p, v, owned, !owned)
+				}
+			}
 		}
 	}
+}
+
+// samePairSet compares cross-edge lists as multisets: Extract collects
+// them in global edge-scan order, ExtractOne per source vertex.
+func samePairSet(a, b [][2]graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := slices.Clone(a), slices.Clone(b)
+	cmp := func(x, y [2]graph.VertexID) int {
+		if x[0] != y[0] {
+			return int(x[0]) - int(y[0])
+		}
+		return int(x[1]) - int(y[1])
+	}
+	slices.SortFunc(as, cmp)
+	slices.SortFunc(bs, cmp)
+	return slices.Equal(as, bs)
 }
 
 // sameEdgeSet compares adjacency lists as multisets: Extract orders

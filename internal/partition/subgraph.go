@@ -8,6 +8,8 @@
 package partition
 
 import (
+	"slices"
+
 	"dsr/internal/graph"
 	"dsr/internal/scc"
 )
@@ -25,6 +27,12 @@ type Subgraph struct {
 	// Entries and Exits are local IDs of boundary in-/out-nodes.
 	Entries []int32
 	Exits   []int32
+	// Cross holds the cross-partition edges whose source lies in this
+	// partition, as (source, destination) global-ID pairs. Together
+	// with the entry→exit summaries these are the partition's whole
+	// contribution to the global boundary graph, which is what a shard
+	// ships to a graph-free coordinator.
+	Cross [][2]graph.VertexID
 
 	// Lazily built and cached by Condensation/Index. Not synchronized:
 	// concurrent builders must each own distinct subgraphs (as the
@@ -38,6 +46,18 @@ func (s *Subgraph) NumVertices() int { return len(s.global) }
 
 // GlobalID maps a local vertex ID back to the global ID.
 func (s *Subgraph) GlobalID(local int32) graph.VertexID { return s.global[local] }
+
+// Local maps a global vertex ID to its local ID within the partition,
+// or reports false if the vertex is not owned by it. The local→global
+// map is strictly increasing by construction (both Extract and
+// ExtractOne assign local IDs in global order), so a binary search
+// answers ownership without any per-vertex placement table — which is
+// what lets task seeds be global IDs that every shard resolves for
+// itself.
+func (s *Subgraph) Local(gv graph.VertexID) (int32, bool) {
+	lv, ok := slices.BinarySearch(s.global, gv)
+	return int32(lv), ok
+}
 
 // Out returns the local out-neighbors of v over intra-partition edges.
 // Together with NumVertices it implements scc.Adjacency. Callers must
@@ -86,12 +106,17 @@ func Extract(g *graph.Graph, pt *graph.Partitioning) ([]*Subgraph, []int32) {
 		s.foff = make([]int64, s.NumVertices()+1)
 		s.roff = make([]int64, s.NumVertices()+1)
 	}
-	// Two passes over the edge set: count, then fill.
+	// Two passes over the edge set: count, then fill. Cross-partition
+	// edges are collected (keyed by their source's partition) on the
+	// count pass.
 	g.Edges(func(u, v graph.VertexID) {
 		if pt.Part[u] == pt.Part[v] {
 			s := subs[pt.Part[u]]
 			s.foff[local[u]+1]++
 			s.roff[local[v]+1]++
+		} else {
+			s := subs[pt.Part[u]]
+			s.Cross = append(s.Cross, [2]graph.VertexID{u, v})
 		}
 	})
 	for _, s := range subs {
@@ -161,12 +186,16 @@ func ExtractOne(g *graph.Graph, pt *graph.Partitioning, id int) *Subgraph {
 	s.roff = make([]int64, s.NumVertices()+1)
 	// Two passes over this partition's out-edges only: count, then fill.
 	// Every intra-partition edge has its source here, so this covers the
-	// reverse adjacency too.
+	// reverse adjacency too — and every cross-partition edge this
+	// partition contributes to the boundary graph has its source here,
+	// so the count pass collects them.
 	for _, u := range s.global {
 		for _, v := range g.Out(u) {
 			if pt.Part[v] == int32(id) {
 				s.foff[local[u]+1]++
 				s.roff[local[v]+1]++
+			} else {
+				s.Cross = append(s.Cross, [2]graph.VertexID{u, v})
 			}
 		}
 	}

@@ -18,6 +18,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -186,11 +187,11 @@ func (f *Faults) Replica(part, replica int, inner shard.Replica) shard.Replica {
 // (so a reconnect loop cannot resurrect it until the schedule revives
 // it), and the dialed replica is fault-wrapped.
 func (f *Faults) Dialer(part, replica int, inner shard.ReplicaDialer) shard.ReplicaDialer {
-	return func() (shard.Replica, error) {
+	return func(ctx context.Context) (shard.Replica, error) {
 		if f.isDead(part, replica) {
 			return nil, fmt.Errorf("chaos: partition %d replica %d is killed (dial refused)", part, replica)
 		}
-		rep, err := inner()
+		rep, err := inner(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -215,5 +216,20 @@ func (cr *chaosReplica) Submit(tasks []wire.Task, replyc chan<- shard.Reply) {
 	}
 	cr.inner.Submit(tasks, replyc)
 }
+
+// Summary fails only while the replica is killed; it deliberately does
+// NOT run decide(). Scripted schedules are keyed on per-replica submit
+// counts, and summary fetches happen at connect time — letting them
+// advance the schedule would shift every subsequent scripted event by
+// however many summary fetches the coordinator happened to make. A
+// mid-fetch death is instead injected with a manual Kill.
+func (cr *chaosReplica) Summary(ctx context.Context) (wire.Summary, error) {
+	if cr.f.isDead(cr.part, cr.replica) {
+		return wire.Summary{}, fmt.Errorf("chaos: partition %d replica %d is killed", cr.part, cr.replica)
+	}
+	return cr.inner.Summary(ctx)
+}
+
+func (cr *chaosReplica) Hello() wire.Hello { return cr.inner.Hello() }
 
 func (cr *chaosReplica) Close() error { return cr.inner.Close() }

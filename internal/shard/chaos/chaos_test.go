@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"net"
 	"slices"
 	"strings"
@@ -20,7 +21,11 @@ type stubReplica struct{}
 func (stubReplica) Submit(tasks []wire.Task, replyc chan<- shard.Reply) {
 	replyc <- shard.Reply{Results: []wire.Result{{Query: 42}}}
 }
-func (stubReplica) Close() error { return nil }
+func (stubReplica) Summary(ctx context.Context) (wire.Summary, error) {
+	return wire.Summary{Boundary: []uint32{42}}, nil
+}
+func (stubReplica) Hello() wire.Hello { return wire.Hello{} }
+func (stubReplica) Close() error      { return nil }
 
 // submit pushes one dummy task through a replica and reports whether it
 // succeeded.
@@ -87,8 +92,8 @@ func TestFaultsScript(t *testing.T) {
 		{Part: 0, Replica: 1, After: 2, Action: Kill},
 		{Part: 0, Replica: 1, After: 5, Action: Revive},
 	}})
-	dialer := f.Dialer(0, 1, func() (shard.Replica, error) { return stubReplica{}, nil })
-	rep, err := dialer()
+	dialer := f.Dialer(0, 1, func(ctx context.Context) (shard.Replica, error) { return stubReplica{}, nil })
+	rep, err := dialer(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +105,7 @@ func TestFaultsScript(t *testing.T) {
 			// The transport would redial after a failure; while dead the
 			// dial must be refused, afterwards it must succeed and the
 			// schedule must pick up where it left off.
-			fresh, derr := dialer()
+			fresh, derr := dialer(t.Context())
 			if f.isDead(0, 1) {
 				if derr == nil || !strings.Contains(derr.Error(), "killed") {
 					t.Fatalf("submit %d: dial of killed replica: %v", i, derr)
@@ -209,7 +214,7 @@ func TestProxyForwardsKillsRevives(t *testing.T) {
 	defer px.Close()
 
 	dial := shard.TCPReplicaDialer(0, px.Addr(), 1, 3, 0, 0)
-	rep, err := dial()
+	rep, err := dial(t.Context())
 	if err != nil {
 		t.Fatalf("dial through proxy: %v", err)
 	}
@@ -228,13 +233,13 @@ func TestProxyForwardsKillsRevives(t *testing.T) {
 	}
 	rep.Close()
 	// ...and new dials must fail while killed.
-	if fresh, err := dial(); err == nil {
+	if fresh, err := dial(t.Context()); err == nil {
 		fresh.Close()
 		t.Fatal("dial succeeded through a killed proxy")
 	}
 
 	px.Revive()
-	rep2, err := dial()
+	rep2, err := dial(t.Context())
 	if err != nil {
 		t.Fatalf("dial after Revive: %v", err)
 	}
@@ -258,7 +263,7 @@ func TestProxyCutsMidFrame(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		rep, err := shard.TCPReplicaDialer(0, px.Addr(), 1, 3, 0, 0)()
+		rep, err := shard.TCPReplicaDialer(0, px.Addr(), 1, 3, 0, 0)(context.Background())
 		if err == nil {
 			rep.Close()
 		}

@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"context"
+	"slices"
+	"strings"
+	"testing"
+
+	"dsr/internal/wire"
+)
+
+// TestLoopbackSummary: the in-process transport serves the same
+// boundary summaries a TCP fleet would ship, with a position-only Hello
+// (nothing to cross-check against — the coordinator built the shards).
+func TestLoopbackSummary(t *testing.T) {
+	shards, _ := chainFixture(t)
+	total := 0
+	for _, sh := range shards {
+		total += sh.NumVertices()
+	}
+	if total != 6 {
+		t.Fatalf("shards own %d vertices in total, want 6", total)
+	}
+	lb := NewLoopback(shards)
+	defer lb.Close()
+	for p := 0; p < 3; p++ {
+		info, err := lb.Summary(t.Context(), p)
+		if err != nil {
+			t.Fatalf("shard %d: %v", p, err)
+		}
+		if info.Hello.ShardID != uint32(p) || info.Hello.NumShards != 3 ||
+			info.Hello.NumVertices != 0 || info.Hello.Graph != 0 || info.Hello.Partitioning != 0 {
+			t.Fatalf("shard %d: hello %+v, want position-only", p, info.Hello)
+		}
+		want := shards[p].Summary()
+		if !slices.Equal(info.Summary.Boundary, want.Boundary) ||
+			!slices.Equal(info.Summary.Edges, want.Edges) ||
+			!slices.Equal(info.Summary.Cross, want.Cross) {
+			t.Fatalf("shard %d: summary %+v, want %+v", p, info.Summary, want)
+		}
+	}
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	if _, err := lb.Summary(ctx, 0); err == nil {
+		t.Fatal("cancelled context not honored")
+	}
+}
+
+// TestReplicatedPinSweepsMismatches: Pin must kill currently-live
+// replicas whose dial-time hello contradicts the pinned fleet identity,
+// for each identity field, and keep matching replicas serving.
+func TestReplicatedPinSweepsMismatches(t *testing.T) {
+	probe := func(t *testing.T, r *Replicated) error {
+		t.Helper()
+		replyc := make(chan Reply, 1)
+		r.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+		return (<-replyc).Err
+	}
+	cases := []struct {
+		name    string
+		pin     Expect
+		wantErr string // "" means the fleet must keep serving
+	}{
+		{"matching pin keeps serving", Expect{NumVertices: 6, Graph: testGraphSum, Part: testPartSum}, ""},
+		{"skipped fields keep serving", Expect{NumVertices: -1}, ""},
+		{"vertex count mismatch", Expect{NumVertices: 5, Graph: testGraphSum, Part: testPartSum}, "vertices"},
+		{"graph fingerprint mismatch", Expect{NumVertices: 6, Graph: testGraphSum + 1, Part: testPartSum}, "different graph"},
+		{"partitioning digest mismatch", Expect{NumVertices: 6, Graph: testGraphSum, Part: testPartSum + 1}, "different partitioning"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			shards, _ := chainFixture(t)
+			addrs, stop := serveShards(t, shards, 6)
+			defer stop()
+			groups := make([][]string, len(addrs))
+			for i, a := range addrs {
+				groups[i] = []string{a}
+			}
+			r, err := DialReplicated(t.Context(), groups, 6, testGraphSum, testPartSum,
+				ReplicatedOptions{ReconnectEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			r.Pin(c.pin)
+			err = probe(t, r)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("fleet stopped serving after matching pin: %v", err)
+				}
+				return
+			}
+			// The sweep killed the replica, and the pinned identity also
+			// blocks the in-query redial of the same server.
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("probe error = %v, want mention of %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestReplicatedPinExemptsLocalReplicas: in-process replicas present no
+// handshake identity (hello NumShards == 0), so any pin leaves them
+// alone.
+func TestReplicatedPinExemptsLocalReplicas(t *testing.T) {
+	shards, _ := chainFixture(t)
+	groups := make([][]ReplicaDialer, len(shards))
+	for p, sh := range shards {
+		sh := sh
+		groups[p] = []ReplicaDialer{func(context.Context) (Replica, error) {
+			return NewLocalReplica(sh), nil
+		}}
+	}
+	r, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Pin(Expect{NumVertices: 999, Graph: 1, Part: 1})
+	replyc := make(chan Reply, 1)
+	r.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+	if rep := <-replyc; rep.Err != nil {
+		t.Fatalf("local replica killed by pin it is exempt from: %v", rep.Err)
+	}
+}

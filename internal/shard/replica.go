@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -20,6 +21,14 @@ import (
 // with an error Reply.
 type Replica interface {
 	Submit(tasks []wire.Task, replyc chan<- Reply)
+	// Summary fetches the replica's boundary summary. Same arena
+	// contract as Results: the slices stay valid until the next Submit
+	// or Summary on this replica.
+	Summary(ctx context.Context) (wire.Summary, error)
+	// Hello reports the identity the replica presented at dial time. A
+	// zero Hello (NumShards == 0) means the replica has no handshake
+	// identity (in-process replicas) and opts out of fleet cross-checks.
+	Hello() wire.Hello
 	Close() error
 }
 
@@ -27,8 +36,10 @@ type Replica interface {
 // reports why it cannot (host down, handshake mismatch). The
 // replica-aware transport calls it at construction, again from its
 // periodic reconnect loop for endpoints marked dead, and as a last
-// resort during a query when a partition has no live replica left.
-type ReplicaDialer func() (Replica, error)
+// resort during a query when a partition has no live replica left. ctx
+// bounds the dial attempt; redials triggered by Close-cancelled
+// transports abort promptly.
+type ReplicaDialer func(ctx context.Context) (Replica, error)
 
 // TCPReplicaDialer returns a dialer for a dsr-shard server at addr
 // serving partition p of a numShards-wide deployment. Every dial runs
@@ -37,8 +48,8 @@ type ReplicaDialer func() (Replica, error)
 // wrong (restarted from a different graph or partitioning spec) is
 // refused on reconnect exactly like at first contact.
 func TCPReplicaDialer(p int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64) ReplicaDialer {
-	return func() (Replica, error) {
-		return dialShard(p, addr, numShards, wantVertices, wantGraph, wantPart)
+	return func(ctx context.Context) (Replica, error) {
+		return dialShard(ctx, p, addr, numShards, wantVertices, wantGraph, wantPart)
 	}
 }
 
@@ -70,6 +81,22 @@ func (lr *localReplica) Submit(tasks []wire.Task, replyc chan<- Reply) {
 	}
 	replyc <- Reply{Shard: lr.sh.ID(), Results: lr.sh.Run(tasks)}
 }
+
+func (lr *localReplica) Summary(ctx context.Context) (wire.Summary, error) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.closed {
+		return wire.Summary{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.Summary{}, err
+	}
+	return lr.sh.Summary(), nil
+}
+
+// Hello returns the zero Hello: in-process replicas have no handshake
+// identity, which consumers treat as opting out of fleet cross-checks.
+func (lr *localReplica) Hello() wire.Hello { return wire.Hello{} }
 
 func (lr *localReplica) Close() error {
 	lr.mu.Lock()

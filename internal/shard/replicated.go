@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -38,12 +39,49 @@ type Replicated struct {
 	sets []*replicaSet
 	opts ReplicatedOptions
 
-	stopc  chan struct{}
+	// ctx is the transport's lifetime: cancelled by Close so background
+	// redials (reconnect loop, in-query last resorts) abort promptly
+	// instead of finishing a doomed dial against a dead deployment.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	loopWG sync.WaitGroup // background reconnect loop
 	subWG  sync.WaitGroup // in-flight Submit goroutines
 
 	mu     sync.Mutex
 	closed bool
+}
+
+// Expect pins the fleet identity every redialed replica must present. A
+// graph-free coordinator learns the deployment's vertex count, graph
+// fingerprint, and partitioning digest from the fleet itself at connect
+// time; pinning them makes every later redial re-verify that a restarted
+// replica still serves the same deployment. NumVertices < 0 skips the
+// vertex-count check; a zero fingerprint or digest skips that check
+// (matching the dial-time handshake rules). Replicas with no handshake
+// identity at all (hello NumShards == 0, i.e. in-process replicas) are
+// exempt.
+type Expect struct {
+	NumVertices int
+	Graph       uint64
+	Part        uint64
+}
+
+// check validates a replica's dial-time hello against the pin.
+func (e *Expect) check(part int, h wire.Hello) error {
+	if e == nil || h.NumShards == 0 {
+		return nil
+	}
+	if e.NumVertices >= 0 && int(h.NumVertices) != e.NumVertices {
+		return fmt.Errorf("shard %d: replica serves %d vertices, fleet pinned %d", part, h.NumVertices, e.NumVertices)
+	}
+	if e.Graph != 0 && h.Graph != 0 && h.Graph != e.Graph {
+		return fmt.Errorf("shard %d: replica built from a different graph (fingerprint %#x, fleet pinned %#x)", part, h.Graph, e.Graph)
+	}
+	if e.Part != 0 && h.Partitioning != 0 && h.Partitioning != e.Part {
+		return fmt.Errorf("shard %d: replica built with a different partitioning (digest %#x, fleet pinned %#x)", part, h.Partitioning, e.Part)
+	}
+	return nil
 }
 
 // replicaSet is one partition's replicas: dialers are fixed at
@@ -59,24 +97,26 @@ type replicaSet struct {
 	lastErr []error
 	rr      int // round-robin cursor over replica indices
 	closed  bool
+	expect  *Expect // pinned fleet identity, nil until Pin
 
 	dialMu sync.Mutex // serializes redials so loop and Submit don't race a dial
 }
 
 // NewReplicated dials every replica of every partition and returns the
-// transport. Construction requires at least one live replica per
-// partition (a partition with zero replicas up cannot answer anything);
-// replicas that fail to dial start out dead and are retried by the
-// reconnect loop. groups[p] lists partition p's dialers.
-func NewReplicated(groups [][]ReplicaDialer, opts ReplicatedOptions) (*Replicated, error) {
+// transport. ctx bounds only the construction dials; the transport's own
+// lifetime is governed by Close. Construction requires at least one live
+// replica per partition (a partition with zero replicas up cannot answer
+// anything); replicas that fail to dial start out dead and are retried
+// by the reconnect loop. groups[p] lists partition p's dialers.
+func NewReplicated(ctx context.Context, groups [][]ReplicaDialer, opts ReplicatedOptions) (*Replicated, error) {
 	if len(groups) == 0 {
 		return nil, errors.New("shard: no replica groups")
 	}
 	r := &Replicated{
-		sets:  make([]*replicaSet, len(groups)),
-		opts:  opts,
-		stopc: make(chan struct{}),
+		sets: make([]*replicaSet, len(groups)),
+		opts: opts,
 	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
 	for p, dialers := range groups {
 		if len(dialers) == 0 {
 			r.shutdown()
@@ -90,7 +130,7 @@ func NewReplicated(groups [][]ReplicaDialer, opts ReplicatedOptions) (*Replicate
 		}
 		nlive := 0
 		for i, dial := range dialers {
-			rep, err := dial()
+			rep, err := dial(ctx)
 			if err != nil {
 				rs.lastErr[i] = err
 				continue
@@ -117,10 +157,10 @@ func NewReplicated(groups [][]ReplicaDialer, opts ReplicatedOptions) (*Replicate
 
 // DialReplicated connects to a replicated TCP deployment: groups[p]
 // lists the dsr-shard addresses serving partition p (any of them may be
-// down, as long as each partition has at least one up). Handshake
-// expectations follow Dial: wantVertices < 0 skips the vertex-count
-// check, 0 skips either digest.
-func DialReplicated(groups [][]string, wantVertices int, wantGraph, wantPart uint64, opts ReplicatedOptions) (*Replicated, error) {
+// down, as long as each partition has at least one up). ctx bounds the
+// construction dials. Handshake expectations follow Dial: wantVertices
+// < 0 skips the vertex-count check, 0 skips either digest.
+func DialReplicated(ctx context.Context, groups [][]string, wantVertices int, wantGraph, wantPart uint64, opts ReplicatedOptions) (*Replicated, error) {
 	dialers := make([][]ReplicaDialer, len(groups))
 	for p, addrs := range groups {
 		dialers[p] = make([]ReplicaDialer, len(addrs))
@@ -128,7 +168,39 @@ func DialReplicated(groups [][]string, wantVertices int, wantGraph, wantPart uin
 			dialers[p][i] = TCPReplicaDialer(p, addr, len(groups), wantVertices, wantGraph, wantPart)
 		}
 	}
-	return NewReplicated(dialers, opts)
+	return NewReplicated(ctx, dialers, opts)
+}
+
+// Pin stores the fleet identity every future redial must re-verify and
+// sweeps currently-live replicas against it, killing any that mismatch
+// (the reconnect loop will redial them, and the redial re-verifies). A
+// graph-free coordinator calls this right after cross-checking the
+// hellos it collected at connect time, closing the window where a
+// replica restarted from a different deployment could rejoin unnoticed.
+func (r *Replicated) Pin(e Expect) {
+	for _, rs := range r.sets {
+		rs.pin(&e)
+	}
+}
+
+func (rs *replicaSet) pin(e *Expect) {
+	rs.mu.Lock()
+	rs.expect = e
+	var bad []Replica
+	for i, rep := range rs.live {
+		if rep == nil {
+			continue
+		}
+		if err := e.check(rs.part, rep.Hello()); err != nil {
+			rs.live[i] = nil
+			rs.lastErr[i] = err
+			bad = append(bad, rep)
+		}
+	}
+	rs.mu.Unlock()
+	for _, rep := range bad {
+		rep.Close()
+	}
 }
 
 // NumShards returns the partition count.
@@ -166,8 +238,26 @@ func (r *Replicated) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
 	r.mu.Unlock()
 	go func() {
 		defer r.subWG.Done()
-		replyc <- r.sets[p].run(tasks)
+		replyc <- r.sets[p].run(r.ctx, tasks)
 	}()
+}
+
+// Summary fetches partition p's boundary summary with the same failover
+// as Submit: healthy replicas in round-robin order, dead ones redialed
+// as a last resort, each failure marking that replica dead — so a
+// replica dying mid-fetch is transparently replaced by a sibling. The
+// SummaryInfo pairs the summary with the serving replica's dial-time
+// hello. ctx bounds the whole attempt chain.
+func (r *Replicated) Summary(ctx context.Context, p int) (SummaryInfo, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return SummaryInfo{}, ErrClosed
+	}
+	r.subWG.Add(1)
+	r.mu.Unlock()
+	defer r.subWG.Done()
+	return r.sets[p].summary(ctx)
 }
 
 // Close stops the reconnect loop, closes every live replica (failing
@@ -187,7 +277,7 @@ func (r *Replicated) Close() error {
 }
 
 func (r *Replicated) shutdown() {
-	close(r.stopc)
+	r.cancel() // aborts in-flight redials along with the reconnect loop
 	for _, rs := range r.sets {
 		if rs != nil {
 			rs.closeAll()
@@ -203,11 +293,11 @@ func (r *Replicated) reconnectLoop(every time.Duration) {
 	defer t.Stop()
 	for {
 		select {
-		case <-r.stopc:
+		case <-r.ctx.Done():
 			return
 		case <-t.C:
 			for _, rs := range r.sets {
-				rs.reconnect()
+				rs.reconnect(r.ctx)
 			}
 		}
 	}
@@ -220,13 +310,13 @@ func (r *Replicated) reconnectLoop(every time.Duration) {
 // is retried on the next candidate, which is correct because local
 // searches are idempotent reads. Only when every replica has failed
 // does the caller get an error Reply, carrying each replica's failure.
-func (rs *replicaSet) run(tasks []wire.Task) Reply {
+func (rs *replicaSet) run(ctx context.Context, tasks []wire.Task) Reply {
 	tried := make([]bool, len(rs.dialers))
 	inner := make(chan Reply, 1)
 	for {
 		idx, rep := rs.pick(tried)
 		if rep == nil {
-			idx, rep = rs.redialDead(tried)
+			idx, rep = rs.redialDead(ctx, tried)
 		}
 		if rep == nil {
 			return Reply{Shard: rs.part, Err: &ReplicaSetError{Part: rs.part, Replicas: rs.describeFailures()}}
@@ -239,6 +329,32 @@ func (rs *replicaSet) run(tasks []wire.Task) Reply {
 			return reply
 		}
 		rs.markDead(idx, rep, reply.Err)
+	}
+}
+
+// summary mirrors run for boundary-summary fetches: same candidate
+// order, same mark-dead-and-retry failover, same all-replicas-failed
+// error. Bails out early when ctx is done rather than burning the
+// remaining candidates on a deadline that already passed.
+func (rs *replicaSet) summary(ctx context.Context) (SummaryInfo, error) {
+	tried := make([]bool, len(rs.dialers))
+	for {
+		if err := ctx.Err(); err != nil {
+			return SummaryInfo{}, fmt.Errorf("shard %d: summary: %w", rs.part, err)
+		}
+		idx, rep := rs.pick(tried)
+		if rep == nil {
+			idx, rep = rs.redialDead(ctx, tried)
+		}
+		if rep == nil {
+			return SummaryInfo{}, &ReplicaSetError{Part: rs.part, Replicas: rs.describeFailures()}
+		}
+		tried[idx] = true
+		sum, err := rep.Summary(ctx)
+		if err == nil {
+			return SummaryInfo{Hello: rep.Hello(), Summary: sum}, nil
+		}
+		rs.markDead(idx, rep, err)
 	}
 }
 
@@ -266,7 +382,7 @@ func (rs *replicaSet) pick(tried []bool) (int, Replica) {
 // untried dead endpoint is strictly better — it catches a replica that
 // came back between reconnect ticks. Dials are serialized with the
 // background loop so an endpoint is never dialed twice concurrently.
-func (rs *replicaSet) redialDead(tried []bool) (int, Replica) {
+func (rs *replicaSet) redialDead(ctx context.Context, tried []bool) (int, Replica) {
 	rs.dialMu.Lock()
 	defer rs.dialMu.Unlock()
 	for idx := range rs.dialers {
@@ -284,15 +400,22 @@ func (rs *replicaSet) redialDead(tried []bool) (int, Replica) {
 			return idx, rep
 		}
 		rs.mu.Unlock()
-		rep, err := rs.dialers[idx]()
+		if ctx.Err() != nil {
+			return -1, nil // transport closed (or deadline hit) mid-redial
+		}
+		rep, err := rs.dialers[idx](ctx)
 		if err != nil {
 			rs.mu.Lock()
 			rs.lastErr[idx] = err
 			rs.mu.Unlock()
 			continue
 		}
-		if !rs.install(idx, rep) {
+		installed, closed := rs.install(idx, rep)
+		if closed {
 			return -1, nil // closed while dialing
+		}
+		if !installed {
+			continue // pinned-identity mismatch; recorded, try the next
 		}
 		return idx, rep
 	}
@@ -300,42 +423,53 @@ func (rs *replicaSet) redialDead(tried []bool) (int, Replica) {
 }
 
 // reconnect redials every currently-dead endpoint once.
-func (rs *replicaSet) reconnect() {
+func (rs *replicaSet) reconnect(ctx context.Context) {
 	rs.dialMu.Lock()
 	defer rs.dialMu.Unlock()
 	for idx := range rs.dialers {
 		rs.mu.Lock()
 		dead := rs.live[idx] == nil && !rs.closed
 		rs.mu.Unlock()
-		if !dead {
+		if !dead || ctx.Err() != nil {
 			continue
 		}
-		rep, err := rs.dialers[idx]()
+		rep, err := rs.dialers[idx](ctx)
 		if err != nil {
 			rs.mu.Lock()
 			rs.lastErr[idx] = err
 			rs.mu.Unlock()
 			continue
 		}
-		if !rs.install(idx, rep) {
+		if _, closed := rs.install(idx, rep); closed {
 			return
 		}
 	}
 }
 
-// install stores a freshly dialed replica, or closes it and reports
-// false if the set was closed while the dial was in flight.
-func (rs *replicaSet) install(idx int, rep Replica) bool {
+// install stores a freshly dialed replica after re-verifying it against
+// the pinned fleet identity (if any). installed reports whether the
+// replica went live; closed reports that the set was closed while the
+// dial was in flight (the caller should stop redialing). A verify
+// failure records the mismatch as the endpoint's lastErr and closes the
+// replica — it stays dead until it comes back serving the right
+// deployment.
+func (rs *replicaSet) install(idx int, rep Replica) (installed, closed bool) {
 	rs.mu.Lock()
 	if rs.closed {
 		rs.mu.Unlock()
 		rep.Close()
-		return false
+		return false, true
+	}
+	if err := rs.expect.check(rs.part, rep.Hello()); err != nil {
+		rs.lastErr[idx] = err
+		rs.mu.Unlock()
+		rep.Close()
+		return false, false
 	}
 	rs.live[idx] = rep
 	rs.lastErr[idx] = nil
 	rs.mu.Unlock()
-	return true
+	return true, false
 }
 
 // markDead records why replica idx failed and closes it, unless a

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -27,7 +28,7 @@ type flakyControl struct {
 // shared across successive instances because at most one instance is
 // live at a time (a failed instance is closed before a redial).
 func (fc *flakyControl) dialer(sh *Shard) ReplicaDialer {
-	return func() (Replica, error) {
+	return func(ctx context.Context) (Replica, error) {
 		if fc.dialDown.Load() {
 			return nil, errors.New("endpoint down")
 		}
@@ -55,27 +56,35 @@ func (f *flakyReplica) Submit(tasks []wire.Task, replyc chan<- Reply) {
 	f.inner.Submit(tasks, replyc)
 }
 
+func (f *flakyReplica) Summary(ctx context.Context) (wire.Summary, error) {
+	if f.ctl.dialDown.Load() {
+		return wire.Summary{}, errors.New("flaky: endpoint down")
+	}
+	return f.inner.Summary(ctx)
+}
+
+func (f *flakyReplica) Hello() wire.Hello { return f.inner.Hello() }
+
 func (f *flakyReplica) Close() error { return f.inner.Close() }
 
 // localGroups builds R flaky-wrapped local replicas per partition of
 // the chain fixture; each replica gets its own Shard instance, as the
 // Replica contract requires.
-func localGroups(t testing.TB, R int) ([][]ReplicaDialer, [][]*flakyControl, []int32) {
+func localGroups(t testing.TB, R int) ([][]ReplicaDialer, [][]*flakyControl) {
 	t.Helper()
-	_, _, local := chainFixture(t)
 	ctls := make([][]*flakyControl, 3)
 	groups := make([][]ReplicaDialer, 3)
 	for p := 0; p < 3; p++ {
 		ctls[p] = make([]*flakyControl, R)
 		groups[p] = make([]ReplicaDialer, R)
 		for r := 0; r < R; r++ {
-			shards, _, _ := chainFixture(t)
+			shards, _ := chainFixture(t)
 			fc := &flakyControl{}
 			ctls[p][r] = fc
 			groups[p][r] = fc.dialer(shards[p])
 		}
 	}
-	return groups, ctls, local
+	return groups, ctls
 }
 
 // submitOne runs one forward task through the transport and returns the
@@ -96,8 +105,8 @@ func submitOne(t *testing.T, tr Transport, p int, seed int32) Reply {
 // TestReplicatedFailsOverMidQuery: a batch whose chosen replica dies
 // mid-query is retried on the sibling and still answered correctly.
 func TestReplicatedFailsOverMidQuery(t *testing.T) {
-	groups, flaky, local := localGroups(t, 2)
-	tr, err := NewReplicated(groups, ReplicatedOptions{ReconnectEvery: -1})
+	groups, flaky := localGroups(t, 2)
+	tr, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +116,7 @@ func TestReplicatedFailsOverMidQuery(t *testing.T) {
 	// every round must still produce the right answer via the sibling.
 	for round := 0; round < 6; round++ {
 		flaky[0][round%2].failNext.Store(1)
-		rep := submitOne(t, tr, 0, local[0])
+		rep := submitOne(t, tr, 0, 0)
 		if rep.Err != nil {
 			t.Fatalf("round %d: failover did not rescue the batch: %v", round, rep.Err)
 		}
@@ -124,8 +133,8 @@ func TestReplicatedFailsOverMidQuery(t *testing.T) {
 // fails in one submit, the error reply details each replica's failure
 // and other partitions keep answering.
 func TestReplicatedAllReplicasFail(t *testing.T) {
-	groups, flaky, local := localGroups(t, 3)
-	tr, err := NewReplicated(groups, ReplicatedOptions{ReconnectEvery: -1})
+	groups, flaky := localGroups(t, 3)
+	tr, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +143,7 @@ func TestReplicatedAllReplicasFail(t *testing.T) {
 	for _, fr := range flaky[1] {
 		fr.failNext.Store(100)
 	}
-	rep := submitOne(t, tr, 1, local[2])
+	rep := submitOne(t, tr, 1, 2)
 	if rep.Err == nil {
 		t.Fatal("all replicas failing did not error")
 	}
@@ -150,7 +159,7 @@ func TestReplicatedAllReplicasFail(t *testing.T) {
 			t.Fatalf("replica %d detail missing: %v", re.Replica, re.Err)
 		}
 	}
-	if rep := submitOne(t, tr, 0, local[0]); rep.Err != nil {
+	if rep := submitOne(t, tr, 0, 0); rep.Err != nil {
 		t.Fatalf("healthy partition failed: %v", rep.Err)
 	}
 }
@@ -158,11 +167,11 @@ func TestReplicatedAllReplicasFail(t *testing.T) {
 // TestReplicatedReconnects: a replica marked dead is revived by the
 // background reconnect loop once its dialer succeeds again.
 func TestReplicatedReconnects(t *testing.T) {
-	shardsA, _, local := chainFixture(t)
-	shardsB, _, _ := chainFixture(t)
+	shardsA, _ := chainFixture(t)
+	shardsB, _ := chainFixture(t)
 	ctlA, ctlB := &flakyControl{}, &flakyControl{}
 	groups := [][]ReplicaDialer{{ctlA.dialer(shardsA[0]), ctlB.dialer(shardsB[0])}}
-	tr, err := NewReplicated(groups, ReplicatedOptions{ReconnectEvery: 5 * time.Millisecond})
+	tr, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: 5 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +185,7 @@ func TestReplicatedReconnects(t *testing.T) {
 	ctlA.dialDown.Store(true)
 	ctlA.failNext.Store(1000)
 	for tr.NumLive(0) == 2 {
-		if rep := submitOne(t, tr, 0, local[0]); rep.Err != nil {
+		if rep := submitOne(t, tr, 0, 0); rep.Err != nil {
 			t.Fatalf("submit during failover: %v", rep.Err)
 		}
 	}
@@ -191,7 +200,7 @@ func TestReplicatedReconnects(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if rep := submitOne(t, tr, 0, local[0]); rep.Err != nil {
+	if rep := submitOne(t, tr, 0, 0); rep.Err != nil {
 		t.Fatalf("submit after reconnect: %v", rep.Err)
 	}
 }
@@ -200,10 +209,10 @@ func TestReplicatedReconnects(t *testing.T) {
 // disabled and every replica dead, a submit performs a last-resort
 // redial instead of failing a recoverable situation.
 func TestReplicatedRedialsWhenNoneLive(t *testing.T) {
-	shards, _, local := chainFixture(t)
+	shards, _ := chainFixture(t)
 	ctl := &flakyControl{}
 	groups := [][]ReplicaDialer{{ctl.dialer(shards[0])}}
-	tr, err := NewReplicated(groups, ReplicatedOptions{ReconnectEvery: -1})
+	tr, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,16 +222,16 @@ func TestReplicatedRedialsWhenNoneLive(t *testing.T) {
 	// down too, further submits keep erroring — with dialer detail.
 	ctl.dialDown.Store(true)
 	ctl.failNext.Store(1)
-	if rep := submitOne(t, tr, 0, local[0]); rep.Err == nil {
+	if rep := submitOne(t, tr, 0, 0); rep.Err == nil {
 		t.Fatal("dead single replica did not error")
 	}
-	if rep := submitOne(t, tr, 0, local[0]); rep.Err == nil ||
+	if rep := submitOne(t, tr, 0, 0); rep.Err == nil ||
 		!strings.Contains(rep.Err.Error(), "endpoint down") {
 		t.Fatalf("error lacks dialer detail: %v", rep.Err)
 	}
 	// Endpoint returns: the very next submit must redial and succeed.
 	ctl.dialDown.Store(false)
-	if rep := submitOne(t, tr, 0, local[0]); rep.Err != nil {
+	if rep := submitOne(t, tr, 0, 0); rep.Err != nil {
 		t.Fatalf("submit after endpoint returned: %v", rep.Err)
 	}
 	if tr.NumLive(0) != 1 {
@@ -233,14 +242,14 @@ func TestReplicatedRedialsWhenNoneLive(t *testing.T) {
 // TestReplicatedRoundRobin: successive submits rotate across healthy
 // replicas so load spreads instead of hammering replica 0.
 func TestReplicatedRoundRobin(t *testing.T) {
-	groups, flaky, local := localGroups(t, 2)
-	tr, err := NewReplicated(groups, ReplicatedOptions{ReconnectEvery: -1})
+	groups, flaky := localGroups(t, 2)
+	tr, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer tr.Close()
 	for i := 0; i < 8; i++ {
-		if rep := submitOne(t, tr, 2, local[4]); rep.Err != nil {
+		if rep := submitOne(t, tr, 2, 4); rep.Err != nil {
 			t.Fatal(rep.Err)
 		}
 	}
@@ -254,21 +263,21 @@ func TestReplicatedRoundRobin(t *testing.T) {
 // zero reachable replicas fails construction with per-replica detail;
 // one live replica is enough even if siblings are down.
 func TestReplicatedConstructionNeedsOneLivePerPartition(t *testing.T) {
-	shards, _, _ := chainFixture(t)
-	bad := func() (Replica, error) { return nil, errors.New("nobody home") }
-	good := func() (Replica, error) { return NewLocalReplica(shards[0]), nil }
+	shards, _ := chainFixture(t)
+	bad := func(ctx context.Context) (Replica, error) { return nil, errors.New("nobody home") }
+	good := func(ctx context.Context) (Replica, error) { return NewLocalReplica(shards[0]), nil }
 
-	if _, err := NewReplicated([][]ReplicaDialer{{bad, bad}}, ReplicatedOptions{ReconnectEvery: -1}); err == nil ||
+	if _, err := NewReplicated(t.Context(), [][]ReplicaDialer{{bad, bad}}, ReplicatedOptions{ReconnectEvery: -1}); err == nil ||
 		!strings.Contains(err.Error(), "nobody home") {
 		t.Fatalf("all-dead partition accepted: %v", err)
 	}
-	if _, err := NewReplicated([][]ReplicaDialer{{}}, ReplicatedOptions{ReconnectEvery: -1}); err == nil {
+	if _, err := NewReplicated(t.Context(), [][]ReplicaDialer{{}}, ReplicatedOptions{ReconnectEvery: -1}); err == nil {
 		t.Fatal("empty replica group accepted")
 	}
-	if _, err := NewReplicated(nil, ReplicatedOptions{}); err == nil {
+	if _, err := NewReplicated(t.Context(), nil, ReplicatedOptions{}); err == nil {
 		t.Fatal("empty deployment accepted")
 	}
-	tr, err := NewReplicated([][]ReplicaDialer{{bad, good}}, ReplicatedOptions{ReconnectEvery: -1})
+	tr, err := NewReplicated(t.Context(), [][]ReplicaDialer{{bad, good}}, ReplicatedOptions{ReconnectEvery: -1})
 	if err != nil {
 		t.Fatalf("one-live partition refused: %v", err)
 	}
@@ -281,18 +290,52 @@ func TestReplicatedConstructionNeedsOneLivePerPartition(t *testing.T) {
 // TestReplicatedCloseSemantics: Close is idempotent, joins its
 // goroutines, and later submits answer ErrClosed.
 func TestReplicatedCloseSemantics(t *testing.T) {
-	groups, _, local := localGroups(t, 2)
-	tr, err := NewReplicated(groups, ReplicatedOptions{ReconnectEvery: time.Millisecond})
+	groups, _ := localGroups(t, 2)
+	tr, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := submitOne(t, tr, 0, local[0]); rep.Err != nil {
+	if rep := submitOne(t, tr, 0, 0); rep.Err != nil {
 		t.Fatal(rep.Err)
 	}
 	tr.Close()
 	tr.Close()
-	if rep := submitOne(t, tr, 0, local[0]); !errors.Is(rep.Err, ErrClosed) {
+	if rep := submitOne(t, tr, 0, 0); !errors.Is(rep.Err, ErrClosed) {
 		t.Fatalf("submit after Close: %v, want ErrClosed", rep.Err)
+	}
+}
+
+// TestReplicatedSummaryFailover: a replica that fails its summary fetch
+// is marked dead and the sibling serves it — the connect-time analogue
+// of mid-query failover.
+func TestReplicatedSummaryFailover(t *testing.T) {
+	groups, flaky := localGroups(t, 2)
+	tr, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Take one replica of partition 1 down; whichever order the set
+	// tries them, the fetch must succeed via the survivor.
+	flaky[1][0].dialDown.Store(true)
+	for round := 0; round < 4; round++ {
+		info, err := tr.Summary(t.Context(), 1)
+		if err != nil {
+			t.Fatalf("round %d: summary failover failed: %v", round, err)
+		}
+		if !slices.Equal(info.Summary.Boundary, []uint32{2, 3}) {
+			t.Fatalf("round %d: boundary %v, want [2 3]", round, info.Summary.Boundary)
+		}
+	}
+	// Both replicas down: the summary fetch reports the full failure.
+	flaky[1][1].dialDown.Store(true)
+	tr.sets[1].closeAll()
+	tr.sets[1].mu.Lock()
+	tr.sets[1].closed = false // reopen the set with every replica dead
+	tr.sets[1].mu.Unlock()
+	if _, err := tr.Summary(t.Context(), 1); err == nil {
+		t.Fatal("summary with no replica left succeeded")
 	}
 }
 
@@ -324,21 +367,21 @@ func serveOne(t testing.TB, sh *Shard, numShards, numVertices int) (string, *Ser
 // replica servers: two servers for one partition, one killed between
 // batches, answers keep coming from the survivor.
 func TestReplicatedTCPFailover(t *testing.T) {
-	shardsA, _, local := chainFixture(t)
-	shardsB, _, _ := chainFixture(t)
+	shardsA, _ := chainFixture(t)
+	shardsB, _ := chainFixture(t)
 
 	addrA, _, stopA := serveOne(t, shardsA[0], 1, 6)
 	addrB, _, stopB := serveOne(t, shardsB[0], 1, 6)
 	defer stopB()
 
-	tr, err := DialReplicated([][]string{{addrA, addrB}}, 6, testGraphSum, testPartSum,
+	tr, err := DialReplicated(t.Context(), [][]string{{addrA, addrB}}, 6, testGraphSum, testPartSum,
 		ReplicatedOptions{ReconnectEvery: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer tr.Close()
 
-	if rep := submitOne(t, tr, 0, local[0]); rep.Err != nil {
+	if rep := submitOne(t, tr, 0, 0); rep.Err != nil {
 		t.Fatal(rep.Err)
 	}
 	stopA() // kill replica 0's server
@@ -348,7 +391,7 @@ func TestReplicatedTCPFailover(t *testing.T) {
 	// that hit the corpse.
 	deadline := time.Now().Add(10 * time.Second)
 	for tr.NumLive(0) != 1 {
-		rep := submitOne(t, tr, 0, local[0])
+		rep := submitOne(t, tr, 0, 0)
 		if rep.Err != nil {
 			t.Fatalf("reply errored despite a live sibling: %v", rep.Err)
 		}
@@ -386,7 +429,7 @@ func TestParseGroups(t *testing.T) {
 // correct response or a clean connection error — never a hang or a
 // corrupt frame.
 func TestServerShutdownDrains(t *testing.T) {
-	shards, _, local := chainFixture(t)
+	shards, _ := chainFixture(t)
 	addr, srv, stop := serveOne(t, shards[0], 3, 6)
 	defer stop()
 
@@ -419,7 +462,7 @@ func TestServerShutdownDrains(t *testing.T) {
 				return
 			}
 			<-start
-			req := wire.AppendTasks(nil, []wire.Task{{Kind: wire.Forward, Seeds: []int32{local[0]}}})
+			req := wire.AppendTasks(nil, []wire.Task{{Kind: wire.Forward, Seeds: []int32{0}}})
 			if err := wire.WriteFrame(c, req); err != nil {
 				results <- nil
 				return

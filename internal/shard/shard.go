@@ -8,6 +8,9 @@
 package shard
 
 import (
+	"sync"
+
+	"dsr/internal/graph"
 	"dsr/internal/partition"
 	"dsr/internal/scc"
 	"dsr/internal/wire"
@@ -32,8 +35,12 @@ type Shard struct {
 
 	cvisit  *partition.Marks // component-level BFS visited marks
 	cqueue  []int32          // component-level BFS queue
+	lseeds  []int32          // reused local-seed translation buffer
 	results []wire.Result    // reused result batch
 	arena   []uint32         // reused boundary-vertex storage
+
+	sumOnce sync.Once // guards the lazily built boundary summary
+	sum     wire.Summary
 }
 
 // New builds a Shard over one partition's subgraph, building (or
@@ -94,21 +101,33 @@ func (s *Shard) bfs(seeds []int32, forward bool) []int32 {
 
 // Run executes every task in the batch in order and returns one result
 // per task. The returned slice and the Boundary slices inside it alias
-// Shard-owned buffers: they are valid until the next Run. Seeds and
-// targets are local vertex IDs; a task whose seeds are out of range for
-// this partition indicates a coordinator/shard graph mismatch and
-// panics rather than answering wrong.
+// Shard-owned buffers: they are valid until the next Run.
+//
+// Seeds and targets are global vertex IDs: the coordinator broadcasts
+// the same batch to every shard, and each shard resolves ownership for
+// itself (binary search over its sorted local→global map), silently
+// skipping seeds it does not hold. The per-task Owned count reports how
+// many seeds this shard did hold, which is how a placement-free
+// coordinator knows the fleet collectively covered every seed.
 func (s *Shard) Run(tasks []wire.Task) []wire.Result {
 	res := s.results[:0]
 	arena := s.arena[:0]
 	for i := range tasks {
 		t := &tasks[i]
 		r := wire.Result{Kind: t.Kind, Query: t.Query}
+		lseeds := s.lseeds[:0]
+		for _, v := range t.Seeds {
+			if lv, ok := s.sub.Local(graph.VertexID(v)); ok {
+				lseeds = append(lseeds, lv)
+			}
+		}
+		s.lseeds = lseeds
+		r.Owned = uint32(len(lseeds))
 		switch t.Kind {
 		case wire.Forward:
-			comps := s.bfs(t.Seeds, true)
+			comps := s.bfs(lseeds, true)
 			for _, v := range t.Targets {
-				if s.cvisit.Seen(s.cond.Comp[v]) {
+				if lv, ok := s.sub.Local(graph.VertexID(v)); ok && s.cvisit.Seen(s.cond.Comp[lv]) {
 					r.Hit = true
 					break
 				}
@@ -123,7 +142,7 @@ func (s *Shard) Run(tasks []wire.Task) []wire.Result {
 			}
 			r.Boundary = arena[start:len(arena):len(arena)]
 		case wire.Backward:
-			comps := s.bfs(t.Seeds, false)
+			comps := s.bfs(lseeds, false)
 			start := len(arena)
 			for _, c := range comps {
 				for _, v := range s.cond.Members(c) {
@@ -140,21 +159,29 @@ func (s *Shard) Run(tasks []wire.Task) []wire.Result {
 	return res
 }
 
-// ValidTask reports whether every seed and target in t is a valid local
-// vertex ID for this shard. The TCP server checks this before Run so a
-// mismatched client gets a protocol error instead of crashing the
-// shard.
-func (s *Shard) ValidTask(t *wire.Task) bool {
-	n := int32(s.sub.NumVertices())
-	for _, v := range t.Seeds {
-		if v < 0 || v >= n {
-			return false
+// Summary returns the shard's boundary summary — its boundary-vertex
+// set, entry→exit summary edges, and outgoing cross-partition edges,
+// all as global IDs. This is everything a graph-free coordinator needs
+// from this partition to stitch the global boundary graph. Built once
+// (the first call builds the SCC reachability index) and cached;
+// subsequent calls are free and safe concurrently with each other.
+func (s *Shard) Summary() wire.Summary {
+	s.sumOnce.Do(func() {
+		var sum wire.Summary
+		// Walking local IDs in order yields globals in strictly
+		// increasing order — the canonical form DecodeSummary enforces.
+		for lv := int32(0); lv < int32(s.sub.NumVertices()); lv++ {
+			if s.isEntry[lv] || s.isExit[lv] {
+				sum.Boundary = append(sum.Boundary, uint32(s.sub.GlobalID(lv)))
+			}
 		}
-	}
-	for _, v := range t.Targets {
-		if v < 0 || v >= n {
-			return false
+		for _, pr := range s.sub.Summary(nil) {
+			sum.Edges = append(sum.Edges, [2]uint32{uint32(pr[0]), uint32(pr[1])})
 		}
-	}
-	return true
+		for _, pr := range s.sub.Cross {
+			sum.Cross = append(sum.Cross, [2]uint32{uint32(pr[0]), uint32(pr[1])})
+		}
+		s.sum = sum
+	})
+	return s.sum
 }

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -22,14 +23,17 @@ const drainTimeout = 30 * time.Second
 
 // Server serves one shard's local-search RPCs over TCP: per connection,
 // a hello frame identifying the shard, then a request/response loop of
-// MsgTasks -> MsgResults frames. Protocol violations get a MsgError
+// MsgTasks -> MsgResults frames — plus MsgSummaryRequest -> MsgSummary,
+// which ships the partition's boundary summary to a graph-free
+// coordinator at connect time. Protocol violations get a MsgError
 // frame and the connection is dropped; the server itself keeps running.
 //
 // Connections share the one Shard, so Run (and the encoding of its
 // aliasing results) is serialized under a mutex.
 type Server struct {
-	sh    *Shard
-	hello wire.Hello
+	sh      *Shard
+	hello   wire.Hello
+	summary []byte // pre-encoded MsgSummary frame payload, immutable
 
 	runMu sync.Mutex // serializes Shard.Run + result encoding
 
@@ -67,7 +71,12 @@ func NewServer(sh *Shard, numShards, numVertices int, graphSum, partSum uint64) 
 			Graph:        graphSum,
 			Partitioning: partSum,
 		},
-		conns: make(map[net.Conn]*connState),
+		// Encode the boundary summary once, eagerly: this builds the SCC
+		// reachability index at startup (not on the first coordinator's
+		// connect), and every MsgSummaryRequest is answered by writing the
+		// same immutable payload — no lock, no re-encoding.
+		summary: wire.AppendSummary(nil, sh.Summary()),
+		conns:   make(map[net.Conn]*connState),
 	}
 }
 
@@ -227,36 +236,41 @@ func (s *Server) handle(c net.Conn) {
 		}
 		rbuf = p
 		ty, err := wire.MsgType(p)
-		if err != nil || ty != wire.MsgTasks {
-			fail(fmt.Sprintf("shard %d: want MsgTasks, got %#02x", s.sh.ID(), ty))
-			return
-		}
-		tasks, seedArena, err = wire.DecodeTasks(p, tasks[:0], seedArena[:0])
-		if err != nil {
-			fail(fmt.Sprintf("shard %d: bad task batch: %v", s.sh.ID(), err))
-			return
-		}
-		for i := range tasks {
-			if !s.sh.ValidTask(&tasks[i]) {
-				fail(fmt.Sprintf("shard %d: task %d references vertices outside the partition (graph/partitioning mismatch?)", s.sh.ID(), i))
+		switch {
+		case err == nil && ty == wire.MsgSummaryRequest:
+			// Served from the immutable pre-encoded frame; no shard lock.
+			if err := wire.WriteFrame(bw, s.summary); err != nil {
 				return
 			}
-		}
-		// Run and encode under one lock: the results alias shard-owned
-		// buffers that the next Run (possibly from another connection)
-		// rewrites.
-		s.runMu.Lock()
-		results := s.sh.Run(tasks)
-		wbuf = wire.AppendResults(wbuf[:0], results)
-		s.runMu.Unlock()
-		if err := wire.WriteFrame(bw, wbuf); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case err == nil && ty == wire.MsgTasks:
+			tasks, seedArena, err = wire.DecodeTasks(p, tasks[:0], seedArena[:0])
+			if err != nil {
+				fail(fmt.Sprintf("shard %d: bad task batch: %v", s.sh.ID(), err))
+				return
+			}
+			// Run and encode under one lock: the results alias shard-owned
+			// buffers that the next Run (possibly from another connection)
+			// rewrites. Seeds are global IDs; the shard skips unowned ones
+			// and reports coverage via Owned, so no validity pre-check.
+			s.runMu.Lock()
+			results := s.sh.Run(tasks)
+			wbuf = wire.AppendResults(wbuf[:0], results)
+			s.runMu.Unlock()
+			if err := wire.WriteFrame(bw, wbuf); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		default:
+			fail(fmt.Sprintf("shard %d: want MsgTasks or MsgSummaryRequest, got %#02x", s.sh.ID(), ty))
 			return
 		}
 		if !s.endBatch(c) {
-			return // draining: this batch was answered, now hang up
+			return // draining: this request was answered, now hang up
 		}
 	}
 }
@@ -279,25 +293,41 @@ type clientConn struct {
 	addr  string
 	c     net.Conn
 	bw    *bufio.Writer
+	hello wire.Hello // the identity the server presented at dial time
 
 	mu      sync.Mutex // guards writes, pending, broken
-	pending []chan<- Reply
+	pending []pendingReq
 	broken  error
 	wbuf    []byte
 
 	done chan struct{} // closed when the reader goroutine exits
 }
 
+// pendingReq is one in-flight request awaiting its response frame.
+// Exactly one of replyc (a task batch) and sumc (a summary request) is
+// non-nil; the reader uses the tag to decide which decoder a response
+// frame feeds.
+type pendingReq struct {
+	replyc chan<- Reply
+	sumc   chan summaryReply
+}
+
+type summaryReply struct {
+	sum wire.Summary
+	err error
+}
+
 // Dial connects to one shard server per address (addrs[i] must be shard
 // i), verifies each hello against the expected deployment shape, and
-// returns the transport. wantVertices < 0 skips the vertex-count check;
-// wantGraph is the caller's graph fingerprint and wantPart its
-// partitioning digest — for either, 0 skips the check (either side not
-// computing one opts out, since a server may also send 0).
-func Dial(addrs []string, wantVertices int, wantGraph, wantPart uint64) (*Client, error) {
+// returns the transport. ctx bounds the whole dial sequence.
+// wantVertices < 0 skips the vertex-count check; wantGraph is the
+// caller's graph fingerprint and wantPart its partitioning digest — for
+// either, 0 skips the check (either side not computing one opts out,
+// since a server may also send 0).
+func Dial(ctx context.Context, addrs []string, wantVertices int, wantGraph, wantPart uint64) (*Client, error) {
 	cl := &Client{}
 	for i, addr := range addrs {
-		cc, err := dialShard(i, addr, len(addrs), wantVertices, wantGraph, wantPart)
+		cc, err := dialShard(ctx, i, addr, len(addrs), wantVertices, wantGraph, wantPart)
 		if err != nil {
 			cl.Close()
 			return nil, err
@@ -307,12 +337,17 @@ func Dial(addrs []string, wantVertices int, wantGraph, wantPart uint64) (*Client
 	return cl, nil
 }
 
-func dialShard(i int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64) (*clientConn, error) {
-	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+func dialShard(ctx context.Context, i int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64) (*clientConn, error) {
+	d := net.Dialer{Timeout: handshakeTimeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("shard %d (%s): %w", i, addr, err)
 	}
-	c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	helloDeadline := time.Now().Add(handshakeTimeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(helloDeadline) {
+		helloDeadline = dl
+	}
+	c.SetReadDeadline(helloDeadline)
 	p, err := wire.ReadFrame(c, nil)
 	if err != nil {
 		c.Close()
@@ -344,7 +379,7 @@ func dialShard(i int, addr string, numShards, wantVertices int, wantGraph, wantP
 		return nil, fmt.Errorf("shard %d (%s): server built with a different partitioning (digest %#x, coordinator %#x — same -partitioner spec everywhere?)", i, addr, h.Partitioning, wantPart)
 	}
 	c.SetReadDeadline(time.Time{})
-	cc := &clientConn{shard: i, addr: addr, c: c, bw: bufio.NewWriter(c), done: make(chan struct{})}
+	cc := &clientConn{shard: i, addr: addr, c: c, bw: bufio.NewWriter(c), hello: h, done: make(chan struct{})}
 	go cc.readLoop()
 	return cc, nil
 }
@@ -357,6 +392,17 @@ func (cl *Client) NumShards() int { return len(cl.conns) }
 // Reply immediately if the connection is broken).
 func (cl *Client) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
 	cl.conns[p].Submit(tasks, replyc)
+}
+
+// Summary fetches shard p's boundary summary over its connection,
+// paired with the hello identity the server presented at dial time.
+func (cl *Client) Summary(ctx context.Context, p int) (SummaryInfo, error) {
+	cc := cl.conns[p]
+	sum, err := cc.Summary(ctx)
+	if err != nil {
+		return SummaryInfo{}, err
+	}
+	return SummaryInfo{Hello: cc.hello, Summary: sum}, nil
 }
 
 // Close closes every connection and waits for the reader goroutines to
@@ -387,7 +433,7 @@ func (cc *clientConn) Submit(tasks []wire.Task, replyc chan<- Reply) {
 	}
 	// Register before writing: the reader pops pending FIFO as response
 	// frames arrive, and a response can only follow a completed write.
-	cc.pending = append(cc.pending, replyc)
+	cc.pending = append(cc.pending, pendingReq{replyc: replyc})
 	cc.wbuf = wire.AppendTasks(cc.wbuf[:0], tasks)
 	err := wire.WriteFrame(cc.bw, cc.wbuf)
 	if err == nil {
@@ -405,6 +451,55 @@ func (cc *clientConn) Submit(tasks []wire.Task, replyc chan<- Reply) {
 	cc.mu.Unlock()
 }
 
+// Summary requests the shard's boundary summary and waits for the
+// response frame (Replica interface). The returned slices alias the
+// reader's decode buffers: valid until the next Submit or Summary on
+// this connection. On ctx cancellation the connection is torn down —
+// the protocol has no way to abandon one in-flight request without
+// desynchronizing the FIFO.
+func (cc *clientConn) Summary(ctx context.Context) (wire.Summary, error) {
+	sumc := make(chan summaryReply, 1)
+	cc.mu.Lock()
+	if cc.broken != nil {
+		err := cc.broken
+		cc.mu.Unlock()
+		return wire.Summary{}, err
+	}
+	cc.pending = append(cc.pending, pendingReq{sumc: sumc})
+	cc.wbuf = wire.AppendSummaryRequest(cc.wbuf[:0])
+	err := wire.WriteFrame(cc.bw, cc.wbuf)
+	if err == nil {
+		err = cc.bw.Flush()
+	}
+	if err != nil {
+		err = fmt.Errorf("shard %d (%s): write: %w", cc.shard, cc.addr, err)
+		cc.broken = err
+		cc.pending = cc.pending[:len(cc.pending)-1]
+		cc.mu.Unlock()
+		cc.c.Close()
+		return wire.Summary{}, err
+	}
+	cc.mu.Unlock()
+	select {
+	case sr := <-sumc:
+		return sr.sum, sr.err
+	case <-ctx.Done():
+		cc.fail(ctx.Err())
+		cc.c.Close()
+		// fail (here or in the reader) delivers exactly one summaryReply
+		// to the buffered channel; drain it so nothing dangles.
+		sr := <-sumc
+		if sr.err == nil {
+			return sr.sum, nil // response raced the cancellation and won
+		}
+		return wire.Summary{}, ctx.Err()
+	}
+}
+
+// Hello reports the identity the server presented at dial time (Replica
+// interface).
+func (cc *clientConn) Hello() wire.Hello { return cc.hello }
+
 // Close closes the connection and waits for its reader goroutine to
 // exit; pending Submits receive error replies (Replica interface).
 func (cc *clientConn) Close() error {
@@ -415,7 +510,8 @@ func (cc *clientConn) Close() error {
 }
 
 // fail marks the connection broken and delivers err to every pending
-// reply.
+// request — task batches get an error Reply, summary requests an error
+// summaryReply.
 func (cc *clientConn) fail(err error) {
 	cc.mu.Lock()
 	if cc.broken == nil {
@@ -426,8 +522,12 @@ func (cc *clientConn) fail(err error) {
 	pending := cc.pending
 	cc.pending = nil
 	cc.mu.Unlock()
-	for _, replyc := range pending {
-		replyc <- Reply{Shard: cc.shard, Err: err}
+	for _, pr := range pending {
+		if pr.replyc != nil {
+			pr.replyc <- Reply{Shard: cc.shard, Err: err}
+		} else {
+			pr.sumc <- summaryReply{err: err}
+		}
 	}
 }
 
@@ -453,29 +553,56 @@ func (cc *clientConn) readLoop() {
 			cc.fail(fmt.Errorf("shard %d (%s): server error: %s", cc.shard, cc.addr, msg))
 			return
 		}
-		// Refuse unsolicited frames BEFORE decoding: the decode reuses
-		// results/arena, whose previous contents the coordinator may
-		// still be reading — only a response matching a pending request
-		// guarantees those buffers are quiescent (the engine consumes a
-		// round fully before submitting the next). pending can only grow
-		// between this check and the decode, since only this goroutine
-		// pops.
+		// Match the frame to the oldest pending request BEFORE decoding:
+		// the decode reuses results/arena, whose previous contents the
+		// coordinator may still be reading — only a response matching a
+		// pending request guarantees those buffers are quiescent (the
+		// engine consumes a round fully before submitting the next). The
+		// request's tag decides which decoder the frame must satisfy.
+		// pending can only grow between this peek and the pop, since only
+		// this goroutine pops.
 		cc.mu.Lock()
-		unsolicited := len(cc.pending) == 0
+		var head pendingReq
+		if len(cc.pending) > 0 {
+			head = cc.pending[0]
+		}
 		cc.mu.Unlock()
-		if unsolicited {
+		switch {
+		case head.replyc == nil && head.sumc == nil:
 			cc.fail(fmt.Errorf("shard %d (%s): unsolicited response frame", cc.shard, cc.addr))
 			return
+		case head.sumc != nil:
+			sum, err := wire.DecodeSummary(p)
+			if err != nil {
+				cc.fail(fmt.Errorf("shard %d (%s): bad summary: %w", cc.shard, cc.addr, err))
+				return
+			}
+			if cc.pop() {
+				head.sumc <- summaryReply{sum: sum}
+			}
+		default:
+			results, arena, err = wire.DecodeResults(p, results[:0], arena[:0])
+			if err != nil {
+				cc.fail(fmt.Errorf("shard %d (%s): bad response: %w", cc.shard, cc.addr, err))
+				return
+			}
+			if cc.pop() {
+				head.replyc <- Reply{Shard: cc.shard, Results: results}
+			}
 		}
-		results, arena, err = wire.DecodeResults(p, results[:0], arena[:0])
-		if err != nil {
-			cc.fail(fmt.Errorf("shard %d (%s): bad response: %w", cc.shard, cc.addr, err))
-			return
-		}
-		cc.mu.Lock()
-		replyc := cc.pending[0]
-		cc.pending = cc.pending[1:]
-		cc.mu.Unlock()
-		replyc <- Reply{Shard: cc.shard, Results: results}
 	}
+}
+
+// pop removes the head pending request, reporting whether the caller
+// now owns delivering its response. It reports false when a concurrent
+// fail (Close, or a cancelled Summary) already consumed the queue and
+// delivered errors — the response is then dropped, never double-sent.
+func (cc *clientConn) pop() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if len(cc.pending) == 0 {
+		return false
+	}
+	cc.pending = cc.pending[1:]
+	return true
 }

@@ -52,11 +52,11 @@ func serveShards(t testing.TB, shards []*Shard, numVertices int) ([]string, func
 }
 
 func TestTCPTransportMatchesLoopback(t *testing.T) {
-	shards, _, local := chainFixture(t)
+	shards, _ := chainFixture(t)
 	addrs, stop := serveShards(t, shards, 6)
 	defer stop()
 
-	cl, err := Dial(addrs, 6, testGraphSum, testPartSum)
+	cl, err := Dial(t.Context(), addrs, 6, testGraphSum, testPartSum)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestTCPTransportMatchesLoopback(t *testing.T) {
 	}
 
 	replyc := make(chan Reply, 3)
-	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 4, Seeds: []int32{local[0]}}}, replyc)
+	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 4, Seeds: []int32{0}}}, replyc)
 	rep := <-replyc
 	if rep.Err != nil {
 		t.Fatal(rep.Err)
@@ -80,7 +80,7 @@ func TestTCPTransportMatchesLoopback(t *testing.T) {
 
 	// Several sequential batches on the same connection reuse buffers.
 	for round := 0; round < 5; round++ {
-		cl.Submit(2, []wire.Task{{Kind: wire.Backward, Query: uint32(round), Seeds: []int32{local[5]}}}, replyc)
+		cl.Submit(2, []wire.Task{{Kind: wire.Backward, Query: uint32(round), Seeds: []int32{5}}}, replyc)
 		rep := <-replyc
 		if rep.Err != nil {
 			t.Fatal(rep.Err)
@@ -92,36 +92,36 @@ func TestTCPTransportMatchesLoopback(t *testing.T) {
 }
 
 func TestTCPDialRejectsMismatch(t *testing.T) {
-	shards, _, _ := chainFixture(t)
+	shards, _ := chainFixture(t)
 	addrs, stop := serveShards(t, shards, 6)
 	defer stop()
 
 	// Wrong vertex count: the coordinator's graph differs.
-	if _, err := Dial(addrs, 7, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "vertices") {
+	if _, err := Dial(t.Context(), addrs, 7, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "vertices") {
 		t.Fatalf("vertex mismatch not rejected: %v", err)
 	}
 	// Shards wired in the wrong order: identity check must catch it.
 	swapped := []string{addrs[1], addrs[0], addrs[2]}
-	if _, err := Dial(swapped, 6, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "identifies as") {
+	if _, err := Dial(t.Context(), swapped, 6, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "identifies as") {
 		t.Fatalf("shard order mismatch not rejected: %v", err)
 	}
 	// Wrong shard count: dial only a prefix.
-	if _, err := Dial(addrs[:2], 6, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "shards") {
+	if _, err := Dial(t.Context(), addrs[:2], 6, testGraphSum, testPartSum); err == nil || !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("shard count mismatch not rejected: %v", err)
 	}
 	// Same shape, different edge set: the graph fingerprint catches what
 	// the vertex count cannot.
-	if _, err := Dial(addrs, 6, testGraphSum+1, testPartSum); err == nil || !strings.Contains(err.Error(), "different graph") {
+	if _, err := Dial(t.Context(), addrs, 6, testGraphSum+1, testPartSum); err == nil || !strings.Contains(err.Error(), "different graph") {
 		t.Fatalf("graph fingerprint mismatch not rejected: %v", err)
 	}
 	// Same graph, different partitioning (e.g. hash vs locality, or two
 	// locality seeds): the partitioning digest catches what the graph
 	// fingerprint cannot.
-	if _, err := Dial(addrs, 6, testGraphSum, testPartSum+1); err == nil || !strings.Contains(err.Error(), "different partitioning") {
+	if _, err := Dial(t.Context(), addrs, 6, testGraphSum, testPartSum+1); err == nil || !strings.Contains(err.Error(), "different partitioning") {
 		t.Fatalf("partitioning digest mismatch not rejected: %v", err)
 	}
 	// Either side opting out (fingerprint/digest 0) skips the checks.
-	if cl, err := Dial(addrs, 6, 0, 0); err != nil {
+	if cl, err := Dial(t.Context(), addrs, 6, 0, 0); err != nil {
 		t.Fatalf("fingerprint opt-out rejected: %v", err)
 	} else {
 		cl.Close()
@@ -129,7 +129,7 @@ func TestTCPDialRejectsMismatch(t *testing.T) {
 }
 
 func TestTCPServerRejectsGarbage(t *testing.T) {
-	shards, _, _ := chainFixture(t)
+	shards, _ := chainFixture(t)
 	addrs, stop := serveShards(t, shards[:1], 6)
 	defer stop()
 
@@ -159,29 +159,88 @@ func TestTCPServerRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestTCPServerRejectsOutOfRangeSeeds(t *testing.T) {
-	shards, _, _ := chainFixture(t)
+// TestTCPServerSkipsUnownedSeeds pins the broadcast contract over TCP:
+// a batch whose seeds all live elsewhere is answered (not rejected)
+// with Owned 0 and an empty search, and the connection stays usable.
+func TestTCPServerSkipsUnownedSeeds(t *testing.T) {
+	shards, _ := chainFixture(t)
 	addrs, stop := serveShards(t, shards, 6)
 	defer stop()
 
-	cl, err := Dial(addrs, 6, testGraphSum, testPartSum)
+	cl, err := Dial(t.Context(), addrs, 6, testGraphSum, testPartSum)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 	replyc := make(chan Reply, 1)
-	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{999}}}, replyc)
+	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{5, 999}}}, replyc)
 	rep := <-replyc
-	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "outside the partition") {
-		t.Fatalf("out-of-range seeds not rejected: %v", rep.Err)
+	if rep.Err != nil {
+		t.Fatalf("unowned seeds rejected: %v", rep.Err)
+	}
+	if r := rep.Results[0]; r.Owned != 0 || r.Hit || len(r.Boundary) != 0 {
+		t.Fatalf("unowned batch produced %+v", r)
+	}
+	// The same connection still answers an owned batch afterward.
+	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 1, Seeds: []int32{0}}}, replyc)
+	rep = <-replyc
+	if rep.Err != nil || rep.Results[0].Owned != 1 {
+		t.Fatalf("owned batch after unowned one: %+v / %v", rep.Results, rep.Err)
+	}
+}
+
+// TestTCPSummaryFetch: the client fetches each shard's boundary summary
+// over the wire, the SummaryInfo carries the dial-time hello, and the
+// connection keeps serving task batches interleaved with summaries.
+func TestTCPSummaryFetch(t *testing.T) {
+	shards, _ := chainFixture(t)
+	addrs, stop := serveShards(t, shards, 6)
+	defer stop()
+
+	cl, err := Dial(t.Context(), addrs, 6, testGraphSum, testPartSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for p := 0; p < 3; p++ {
+		info, err := cl.Summary(t.Context(), p)
+		if err != nil {
+			t.Fatalf("shard %d: %v", p, err)
+		}
+		if info.Hello.ShardID != uint32(p) || info.Hello.NumShards != 3 ||
+			info.Hello.NumVertices != 6 || info.Hello.Graph != testGraphSum ||
+			info.Hello.Partitioning != testPartSum {
+			t.Fatalf("shard %d: hello %+v", p, info.Hello)
+		}
+		want := shards[p].Summary()
+		if !slices.Equal(info.Summary.Boundary, want.Boundary) ||
+			!slices.Equal(info.Summary.Edges, want.Edges) ||
+			!slices.Equal(info.Summary.Cross, want.Cross) {
+			t.Fatalf("shard %d: summary %+v, want %+v", p, info.Summary, want)
+		}
+	}
+
+	// Interleave: batch, summary, batch on the same connection.
+	replyc := make(chan Reply, 1)
+	cl.Submit(1, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{2}}}, replyc)
+	if rep := <-replyc; rep.Err != nil || !slices.Equal(rep.Results[0].Boundary, []uint32{3}) {
+		t.Fatalf("batch before summary: %+v / %v", rep.Results, rep.Err)
+	}
+	if _, err := cl.Summary(t.Context(), 1); err != nil {
+		t.Fatal(err)
+	}
+	cl.Submit(1, []wire.Task{{Kind: wire.Backward, Query: 1, Seeds: []int32{3}}}, replyc)
+	if rep := <-replyc; rep.Err != nil || !slices.Equal(rep.Results[0].Boundary, []uint32{2}) {
+		t.Fatalf("batch after summary: %+v / %v", rep.Results, rep.Err)
 	}
 }
 
 func TestTCPClientSubmitAfterServerGone(t *testing.T) {
-	shards, _, local := chainFixture(t)
+	shards, _ := chainFixture(t)
 	addrs, stop := serveShards(t, shards, 6)
 
-	cl, err := Dial(addrs, 6, testGraphSum, testPartSum)
+	cl, err := Dial(t.Context(), addrs, 6, testGraphSum, testPartSum)
 	if err != nil {
 		stop()
 		t.Fatal(err)
@@ -195,7 +254,7 @@ func TestTCPClientSubmitAfterServerGone(t *testing.T) {
 	// observed, but the reply must eventually carry an error, and once
 	// broken every further Submit fails fast.
 	for {
-		cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{local[0]}}}, replyc)
+		cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
 		select {
 		case rep := <-replyc:
 			if rep.Err != nil {
@@ -235,7 +294,7 @@ func TestTCPClientUnsolicitedFrame(t *testing.T) {
 		wire.WriteFrame(c, evil) // unsolicited
 		time.Sleep(2 * time.Second)
 	}()
-	cl, err := Dial([]string{ln.Addr().String()}, 6, 0, 0)
+	cl, err := Dial(t.Context(), []string{ln.Addr().String()}, 6, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +335,7 @@ func TestTCPDialUnreachable(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close()
-	if _, err := Dial([]string{addr}, -1, 0, 0); err == nil {
+	if _, err := Dial(t.Context(), []string{addr}, -1, 0, 0); err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}
 }
@@ -298,7 +357,7 @@ func TestTCPClientCloseFailsPending(t *testing.T) {
 		wire.WriteFrame(c, wire.AppendHello(nil, wire.Hello{ShardID: 0, NumShards: 1, NumVertices: 6}))
 		time.Sleep(5 * time.Second) // never answer
 	}()
-	cl, err := Dial([]string{ln.Addr().String()}, 6, 0, 0)
+	cl, err := Dial(t.Context(), []string{ln.Addr().String()}, 6, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

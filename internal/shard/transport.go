@@ -1,11 +1,23 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"sync"
 
 	"dsr/internal/wire"
 )
+
+// SummaryInfo pairs one partition's boundary summary with the hello
+// identity of the endpoint that served it, so a graph-free coordinator
+// can cross-check the fleet's vertex counts, graph fingerprints, and
+// partitioning digests against each other while stitching. In-process
+// transports leave Hello's NumVertices/Graph/Partitioning zero ("not
+// computed"), which every consumer treats as opting out of the check.
+type SummaryInfo struct {
+	Hello   wire.Hello
+	Summary wire.Summary
+}
 
 // Reply delivers one shard's results for a submitted batch. On a
 // transport failure Err is set and Results is nil.
@@ -32,6 +44,12 @@ type Transport interface {
 	// Submit ships the batch to shard p. tasks must be non-empty and
 	// remain untouched until the Reply arrives.
 	Submit(p int, tasks []wire.Task, replyc chan<- Reply)
+	// Summary fetches shard p's boundary summary plus the identity of
+	// the endpoint serving it. The returned slices follow the same arena
+	// contract as Results: they alias transport-owned buffers valid
+	// until the next Summary or Submit to the same shard, so the
+	// coordinator copies what it keeps. ctx bounds the fetch.
+	Summary(ctx context.Context, p int) (SummaryInfo, error)
 	// Close releases connections and stops goroutines, waiting for them.
 	Close() error
 }
@@ -84,6 +102,21 @@ func (lb *Loopback) NumShards() int { return len(lb.shards) }
 // Submit sends the batch to shard p's goroutine.
 func (lb *Loopback) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
 	lb.reqs[p] <- loopReq{tasks: tasks, replyc: replyc}
+}
+
+// Summary returns shard p's boundary summary directly — no goroutine
+// hop needed, the Shard caches it and concurrent reads are safe. The
+// Hello carries only the shard's position (NumVertices and the
+// fingerprints stay zero: in-process, the coordinator built the shards
+// itself and has nothing to cross-check).
+func (lb *Loopback) Summary(ctx context.Context, p int) (SummaryInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return SummaryInfo{}, err
+	}
+	return SummaryInfo{
+		Hello:   wire.Hello{ShardID: uint32(p), NumShards: uint32(len(lb.shards))},
+		Summary: lb.shards[p].Summary(),
+	}, nil
 }
 
 // Close stops every shard goroutine and waits until all have exited, so

@@ -54,7 +54,11 @@ func TestDecodeHostilePayloads(t *testing.T) {
 	// reject it against the remaining byte count.
 	inflated := append([]byte{MsgTasks}, binary.AppendUvarint(nil, 1<<60)...)
 	// A results payload whose boundary count outruns the payload.
-	badBoundary := []byte{MsgResults, 1, byte(Forward), 0 /*query*/, 0 /*hit*/, 200 /*count*/}
+	badBoundary := []byte{MsgResults, 1, byte(Forward), 0 /*query*/, 0 /*hit*/, 1 /*owned*/, 200 /*count*/}
+	// A summary payload claiming 2^50 boundary vertices in a handful of
+	// bytes, and one whose edge-pair count outruns the payload.
+	inflatedSummary := append([]byte{MsgSummary}, binary.AppendUvarint(nil, 1<<50)...)
+	badPairs := []byte{MsgSummary, 1 /*nb*/, 7 /*vertex*/, 100 /*edge count*/, 1, 2}
 	// A varint that overflows uint32 (10 bytes of continuation).
 	over64 := append([]byte{MsgHello}, binary.BigEndian.AppendUint32(nil, helloMagic)...)
 	over64 = append(over64, binary.AppendUvarint(nil, 1<<40)...)
@@ -76,6 +80,11 @@ func TestDecodeHostilePayloads(t *testing.T) {
 		{"hello oversized varint", over64},
 		{"wrong type everywhere", AppendError(nil, "x")},
 		{"trailing garbage", append(AppendTasks(nil, nil), 0xEE)},
+		{"summary type only", []byte{MsgSummary}},
+		{"inflated summary boundary count", inflatedSummary},
+		{"inflated summary pair count", badPairs},
+		{"summary unsorted boundary", []byte{MsgSummary, 2, 9, 3, 0, 0}},
+		{"summary trailing garbage", append(AppendSummary(nil, Summary{}), 0xEE)},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -87,6 +96,9 @@ func TestDecodeHostilePayloads(t *testing.T) {
 			}
 			if _, err := DecodeHello(c.payload); err == nil {
 				t.Error("DecodeHello accepted hostile payload")
+			}
+			if _, err := DecodeSummary(c.payload); err == nil {
+				t.Error("DecodeSummary accepted hostile payload")
 			}
 		})
 	}
@@ -144,6 +156,41 @@ func FuzzDecodeResults(f *testing.F) {
 		}
 		if len(again) != len(results) {
 			t.Fatalf("fixpoint broke: %d results then %d", len(results), len(again))
+		}
+	})
+}
+
+// FuzzDecodeSummary hardens the decoder that faces the largest
+// untrusted payload in the protocol — a whole partition's boundary
+// summary. Contract as everywhere: never panic, inflated counts are
+// rejected before slices grow, and anything accepted is canonical
+// (strictly ordered boundary) and survives a re-encode round trip.
+func FuzzDecodeSummary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendSummary(nil, Summary{}))
+	f.Add(AppendSummary(nil, Summary{
+		Boundary: []uint32{1, 300, 70000, 1 << 30},
+		Edges:    [][2]uint32{{1, 300}, {300, 70000}},
+		Cross:    [][2]uint32{{70000, 1}},
+	}))
+	f.Add([]byte{MsgSummary, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{MsgSummary, 2, 9, 3, 0, 0}) // unsorted boundary
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSummary(data)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(s.Boundary); i++ {
+			if s.Boundary[i] <= s.Boundary[i-1] {
+				t.Fatalf("accepted non-canonical boundary list at index %d", i)
+			}
+		}
+		again, err := DecodeSummary(AppendSummary(nil, s))
+		if err != nil {
+			t.Fatalf("re-decode of accepted summary failed: %v", err)
+		}
+		if !summaryEqual(s, again) {
+			t.Fatal("summary changed across re-encode")
 		}
 	})
 }

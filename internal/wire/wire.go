@@ -1,17 +1,28 @@
 // Package wire is the binary protocol between the DSR coordinator and
 // its shards: length-prefixed frames carrying varint-packed messages.
 // A frame is a 4-byte big-endian payload length followed by the
-// payload; the payload's first byte is the message type. Four message
+// payload; the payload's first byte is the message type. Six message
 // types exist:
 //
 //   - MsgHello    — server -> client on connect: shard identity
 //     (shard ID, shard count, vertex count, graph fingerprint,
 //     partitioning digest) so a coordinator can refuse a shard built
 //     from a different graph or partitioned differently.
+//   - MsgSummaryRequest — client -> server: ask for the shard's
+//     boundary summary (no payload beyond the type byte).
+//   - MsgSummary  — server -> client: the shard's boundary summary —
+//     its boundary-vertex set, entry→exit summary edges, and outgoing
+//     cross-partition edges, all as global vertex IDs. The coordinator
+//     stitches the k summaries into the global boundary graph without
+//     ever holding the full graph.
 //   - MsgTasks    — client -> server: a batch of local-search tasks,
-//     each tagged with the batch-query index it belongs to.
+//     each tagged with the batch-query index it belongs to. Seeds and
+//     targets are global vertex IDs; a shard silently skips the ones
+//     it does not own (the coordinator broadcasts, it has no placement
+//     data) and reports how many it owned.
 //   - MsgResults  — server -> client: one result per task, in task
-//     order, carrying local-hit flags and boundary-vertex sets.
+//     order, carrying local-hit flags, owned-seed counts, and
+//     boundary-vertex sets.
 //   - MsgError    — server -> client: a fatal protocol error as text;
 //     the connection is closed afterwards.
 //
@@ -41,15 +52,19 @@ const MaxFrame = 1 << 26
 
 // Message type bytes (first byte of every frame payload).
 const (
-	MsgHello   = 0x01
-	MsgTasks   = 0x02
-	MsgResults = 0x03
-	MsgError   = 0x04
+	MsgHello          = 0x01
+	MsgTasks          = 0x02
+	MsgResults        = 0x03
+	MsgError          = 0x04
+	MsgSummaryRequest = 0x05
+	MsgSummary        = 0x06
 )
 
 // helloMagic guards against a client speaking to something that is not
-// a DSR shard: it leads the hello payload ("DSR1").
-const helloMagic = 0x44535231
+// a DSR shard — and against an old one: it leads the hello payload
+// ("DSR2"; the bump from DSR1 covers task seeds going global and
+// results carrying owned-seed counts).
+const helloMagic = 0x44535232
 
 // Protocol errors.
 var (
@@ -72,10 +87,12 @@ const (
 	Backward
 )
 
-// Task is one local-search request. Seeds and Targets are local vertex
-// IDs within the destination shard's partition; Query ties the task to
-// a position in the coordinator's batch so results can be routed back.
-// Targets is only meaningful for Forward tasks.
+// Task is one local-search request. Seeds and Targets are global
+// vertex IDs: the coordinator holds no placement data, so it
+// broadcasts the same task batch to every shard and each shard runs
+// the search from whichever seeds it owns, skipping the rest. Query
+// ties the task to a position in the coordinator's batch so results
+// can be routed back. Targets is only meaningful for Forward tasks.
 type Task struct {
 	Kind    TaskKind
 	Query   uint32
@@ -84,13 +101,33 @@ type Task struct {
 }
 
 // Result answers one Task. Boundary holds global vertex IDs: exits
-// reached (Forward) or entries that reach a target (Backward). Hit is
-// only meaningful for Forward results.
+// reached (Forward) or entries that reach a target (Backward). Owned
+// counts how many of the task's Seeds this shard owned — summed over
+// all shards it tells the broadcast coordinator whether every seed was
+// actually searched (a dead partition's seeds go missing, which must
+// fail the query rather than read as false). Hit is only meaningful
+// for Forward results.
 type Result struct {
 	Kind     TaskKind
 	Query    uint32
 	Hit      bool
+	Owned    uint32
 	Boundary []uint32
+}
+
+// Summary is one shard's contribution to the global boundary graph,
+// shipped in response to a MsgSummaryRequest. All IDs are global.
+// Boundary lists the partition's boundary vertices (entries ∪ exits)
+// in strictly increasing order — the decoder enforces the order, so a
+// decoded Summary is always canonical. Edges holds the entry→exit
+// summary pairs (exit reachable from entry without leaving the
+// partition) and Cross the raw cross-partition edges whose source lies
+// in the partition. Stitched over all k shards these are exactly the
+// edges of the DSR boundary graph.
+type Summary struct {
+	Boundary []uint32
+	Edges    [][2]uint32
+	Cross    [][2]uint32
 }
 
 // Hello identifies a shard server to a connecting coordinator. Graph
@@ -273,6 +310,7 @@ func AppendResults(dst []byte, results []Result) []byte {
 			hit = 1
 		}
 		dst = append(dst, hit)
+		dst = binary.AppendUvarint(dst, uint64(r.Owned))
 		dst = binary.AppendUvarint(dst, uint64(len(r.Boundary)))
 		for _, v := range r.Boundary {
 			dst = binary.AppendUvarint(dst, uint64(v))
@@ -314,6 +352,10 @@ func DecodeResults(p []byte, dst []Result, arena []uint32) ([]Result, []uint32, 
 		}
 		hit := p[0] == 1
 		p = p[1:]
+		var owned uint32
+		if owned, p, err = readUint32(p); err != nil {
+			return dst, arena, err
+		}
 		n, p2, err := readCount(p)
 		if err != nil {
 			return dst, arena, err
@@ -327,12 +369,97 @@ func DecodeResults(p []byte, dst []Result, arena []uint32) ([]Result, []uint32, 
 			}
 			arena = append(arena, v)
 		}
-		dst = append(dst, Result{Kind: kind, Query: q, Hit: hit, Boundary: arena[start:len(arena):len(arena)]})
+		dst = append(dst, Result{Kind: kind, Query: q, Hit: hit, Owned: owned, Boundary: arena[start:len(arena):len(arena)]})
 	}
 	if len(p) != 0 {
 		return dst, arena, fmt.Errorf("wire: %d trailing bytes after results", len(p))
 	}
 	return dst, arena, nil
+}
+
+// AppendSummaryRequest appends a MsgSummaryRequest payload to dst. The
+// request carries nothing beyond its type byte.
+func AppendSummaryRequest(dst []byte) []byte {
+	return append(dst, MsgSummaryRequest)
+}
+
+// AppendSummary appends a MsgSummary payload to dst. s.Boundary must be
+// strictly increasing (which Shard summaries are by construction);
+// DecodeSummary rejects anything else.
+func AppendSummary(dst []byte, s Summary) []byte {
+	dst = append(dst, MsgSummary)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Boundary)))
+	for _, v := range s.Boundary {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	dst = appendPairs(dst, s.Edges)
+	dst = appendPairs(dst, s.Cross)
+	return dst
+}
+
+func appendPairs(dst []byte, pairs [][2]uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pairs)))
+	for _, pr := range pairs {
+		dst = binary.AppendUvarint(dst, uint64(pr[0]))
+		dst = binary.AppendUvarint(dst, uint64(pr[1]))
+	}
+	return dst
+}
+
+// DecodeSummary decodes a MsgSummary payload. It enforces the boundary
+// list's strict ordering (sorted, no duplicates), so accepted summaries
+// are canonical and safe to binary-search; element counts are validated
+// against the bytes present before any slice grows, like every other
+// decoder here.
+func DecodeSummary(p []byte) (Summary, error) {
+	var s Summary
+	p, err := expectType(p, MsgSummary)
+	if err != nil {
+		return s, err
+	}
+	nb, p, err := readCount(p)
+	if err != nil {
+		return s, err
+	}
+	for j := 0; j < nb; j++ {
+		var v uint32
+		if v, p, err = readUint32(p); err != nil {
+			return s, err
+		}
+		if j > 0 && v <= s.Boundary[j-1] {
+			return s, fmt.Errorf("wire: boundary list not strictly increasing at index %d", j)
+		}
+		s.Boundary = append(s.Boundary, v)
+	}
+	if s.Edges, p, err = readPairs(p); err != nil {
+		return s, err
+	}
+	if s.Cross, p, err = readPairs(p); err != nil {
+		return s, err
+	}
+	if len(p) != 0 {
+		return s, fmt.Errorf("wire: %d trailing bytes after summary", len(p))
+	}
+	return s, nil
+}
+
+func readPairs(p []byte) ([][2]uint32, []byte, error) {
+	n, p, err := readCount(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pairs [][2]uint32
+	for j := 0; j < n; j++ {
+		var a, b uint32
+		if a, p, err = readUint32(p); err != nil {
+			return nil, nil, err
+		}
+		if b, p, err = readUint32(p); err != nil {
+			return nil, nil, err
+		}
+		pairs = append(pairs, [2]uint32{a, b})
+	}
+	return pairs, p, nil
 }
 
 // AppendError appends a MsgError payload to dst.

@@ -110,11 +110,11 @@ func TestTasksRoundTrip(t *testing.T) {
 func TestResultsRoundTrip(t *testing.T) {
 	cases := [][]Result{
 		nil,
-		{{Kind: Forward, Query: 3, Hit: true}},
+		{{Kind: Forward, Query: 3, Hit: true, Owned: 2}},
 		{
-			{Kind: Forward, Query: 0, Hit: false, Boundary: []uint32{1, 2, math.MaxUint32}},
+			{Kind: Forward, Query: 0, Hit: false, Owned: math.MaxUint32, Boundary: []uint32{1, 2, math.MaxUint32}},
 			{Kind: Backward, Query: 1, Boundary: []uint32{300, 70000}},
-			{Kind: Backward, Query: 2, Boundary: nil},
+			{Kind: Backward, Query: 2, Owned: 1, Boundary: nil},
 		},
 	}
 	for ci, results := range cases {
@@ -127,9 +127,59 @@ func TestResultsRoundTrip(t *testing.T) {
 		}
 		for i := range results {
 			w, g := results[i], got[i]
-			if g.Kind != w.Kind || g.Query != w.Query || g.Hit != w.Hit || !idsEqual(g.Boundary, w.Boundary) {
+			if g.Kind != w.Kind || g.Query != w.Query || g.Hit != w.Hit || g.Owned != w.Owned || !idsEqual(g.Boundary, w.Boundary) {
 				t.Fatalf("case %d result %d: got %+v, want %+v", ci, i, g, w)
 			}
+		}
+	}
+}
+
+func pairsEqual(a, b [][2]uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func summaryEqual(a, b Summary) bool {
+	return idsEqual(a.Boundary, b.Boundary) && pairsEqual(a.Edges, b.Edges) && pairsEqual(a.Cross, b.Cross)
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	cases := []Summary{
+		{},
+		{Boundary: []uint32{7}},
+		{
+			Boundary: []uint32{1, 4, 9, math.MaxUint32},
+			Edges:    [][2]uint32{{1, 4}, {1, 9}, {4, 4}},
+			Cross:    [][2]uint32{{9, 1}, {4, math.MaxUint32}},
+		},
+		{
+			Boundary: []uint32{0, 128, 16384, 2097152},
+			Cross:    [][2]uint32{{128, 0}},
+		},
+	}
+	for ci, s := range cases {
+		got, err := DecodeSummary(AppendSummary(nil, s))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if !summaryEqual(got, s) {
+			t.Fatalf("case %d: got %+v, want %+v", ci, got, s)
+		}
+	}
+}
+
+func TestDecodeSummaryRejectsUnsortedBoundary(t *testing.T) {
+	for _, boundary := range [][]uint32{{3, 1}, {5, 5}, {0, 2, 2}} {
+		p := AppendSummary(nil, Summary{Boundary: boundary})
+		if _, err := DecodeSummary(p); err == nil {
+			t.Errorf("boundary %v accepted, want strict-order error", boundary)
 		}
 	}
 }
