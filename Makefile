@@ -19,6 +19,7 @@ COVER_MIN_SHARD ?= 85.0
 COVER_MIN_CHAOS ?= 85.0
 COVER_MIN_DSR ?= 87.0
 COVER_MIN_WIRE ?= 85.0
+COVER_MIN_OBS ?= 85.0
 
 .PHONY: build test test-e2e vet fmt fmt-check lint bench bench-smoke bench-json bench-baseline bench-gate cover-gate fuzz-smoke vulncheck
 
@@ -41,9 +42,9 @@ test-e2e:
 # above. A failing test or a coverage drop past the minimum fails the
 # target; raise the minima when coverage rises for keeps.
 cover-gate:
-	@out="$$($(GO) test -count=1 -cover ./internal/shard ./internal/shard/chaos ./internal/dsr ./internal/wire)"; \
+	@out="$$($(GO) test -count=1 -cover ./internal/shard ./internal/shard/chaos ./internal/dsr ./internal/wire ./internal/obs)"; \
 	status=$$?; echo "$$out"; \
-	echo "$$out" | awk -v ms=$(COVER_MIN_SHARD) -v mc=$(COVER_MIN_CHAOS) -v md=$(COVER_MIN_DSR) -v mw=$(COVER_MIN_WIRE) ' \
+	echo "$$out" | awk -v ms=$(COVER_MIN_SHARD) -v mc=$(COVER_MIN_CHAOS) -v md=$(COVER_MIN_DSR) -v mw=$(COVER_MIN_WIRE) -v mo=$(COVER_MIN_OBS) ' \
 		$$1 == "FAIL" { fail = 1 } \
 		/coverage:/ { \
 			pct = ""; for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { pct = $$i; gsub("%", "", pct) } \
@@ -52,13 +53,14 @@ cover-gate:
 			if ($$2 == "dsr/internal/shard/chaos") min = mc; \
 			if ($$2 == "dsr/internal/dsr") min = md; \
 			if ($$2 == "dsr/internal/wire") min = mw; \
+			if ($$2 == "dsr/internal/obs") min = mo; \
 			if (min >= 0) { \
 				seen++; \
 				if (pct + 0 < min + 0) { printf "cover-gate: %s %.1f%% < %.1f%% minimum\n", $$2, pct, min; fail = 1 } \
 				else printf "cover-gate: %s %.1f%% (minimum %.1f%%)\n", $$2, pct, min \
 			} \
 		} \
-		END { if (seen != 4) { printf "cover-gate: expected 4 coverage lines, saw %d\n", seen; fail = 1 }; exit fail }' \
+		END { if (seen != 5) { printf "cover-gate: expected 5 coverage lines, saw %d\n", seen; fail = 1 }; exit fail }' \
 	&& [ $$status -eq 0 ]
 
 vet:

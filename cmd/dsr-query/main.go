@@ -46,7 +46,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strconv"
 	"strings"
@@ -54,12 +53,11 @@ import (
 
 	"dsr/internal/core"
 	"dsr/internal/graph"
+	"dsr/internal/obs"
 	"dsr/internal/partition/locality"
 )
 
 func main() {
-	log.SetPrefix("dsr-query: ")
-	log.SetFlags(0)
 	var (
 		graphPath      = flag.String("graph", "", "edge-list file for in-process mode: one 'u v' pair per line (forbidden with -shards)")
 		shards         = flag.String("shards", "", "comma-separated shard addresses (shard i at position i), each optionally a 'a|b' replica group; empty runs in-process")
@@ -67,8 +65,28 @@ func main() {
 		batch          = flag.Bool("batch", false, "read all queries first and answer them as one batch")
 		partitioner    = flag.String("partitioner", "hash", "in-process partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N] (forbidden with -shards)")
 		connectTimeout = flag.Duration("connect-timeout", 30*time.Second, "with -shards: time limit for dialing the fleet and fetching boundary summaries")
+		metricsAddr    = flag.String("metrics-addr", "", "serve the metrics registry (JSON at /metrics) and net/http/pprof on this address; empty disables")
+		slowQuery      = flag.Duration("slow-query", 0, "log a structured span trace for any batch slower than this; 0 disables")
+		logLevel       = flag.String("log-level", "info", "log level floor: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsr-query: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.StderrLogger(level).With("component", "dsr-query")
+	reg := obs.NewRegistry()
+	var ops *obs.OpsServer // closed explicitly: os.Exit below skips defers
+	if *metricsAddr != "" {
+		ops, err = obs.StartOps(*metricsAddr, reg)
+		if err != nil {
+			logger.Errorf("metrics-addr: %v", err)
+			os.Exit(1)
+		}
+		logger.Infof("metrics on http://%s/metrics (pprof under /debug/pprof/)", ops.Addr())
+	}
 
 	var eng *core.Engine
 	if *shards != "" {
@@ -88,14 +106,15 @@ func main() {
 			os.Exit(2)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *connectTimeout)
-		var err error
 		eng, err = core.Connect(ctx, core.ClusterSpec{
-			Groups: strings.Split(*shards, ","),
-			Logf:   func(format string, args ...any) { log.Printf(format, args...) },
+			Groups:    strings.Split(*shards, ","),
+			Log:       logger,
+			Metrics:   reg,
+			SlowQuery: *slowQuery,
 		})
 		cancel()
 		if err != nil {
-			log.Printf("connect shards: %v", err)
+			logger.Errorf("connect shards: %v", err)
 			var me *core.MismatchError
 			if errors.As(err, &me) {
 				// The shards disagree with each other about the deployment —
@@ -104,7 +123,7 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		log.Printf("connected to %d shards, %d boundary vertices, %d coordinator-resident bytes",
+		logger.Infof("connected to %d shards, %d boundary vertices, %d coordinator-resident bytes",
 			eng.NumPartitions(), eng.NumBoundary(), eng.ResidentBytes())
 	} else {
 		if *graphPath == "" {
@@ -114,22 +133,38 @@ func main() {
 		}
 		strat, err := locality.ParseSpec(*partitioner)
 		if err != nil {
-			log.Fatalf("-partitioner: %v", err)
+			logger.Errorf("-partitioner: %v", err)
+			os.Exit(1)
 		}
 		g, err := graph.LoadEdgeListFile(*graphPath)
 		if err != nil {
-			log.Fatalf("load graph: %v", err)
+			logger.Errorf("load graph: %v", err)
+			os.Exit(1)
 		}
-		eng, err = core.Build(g, core.Options{K: *k, Partitioner: strat})
+		eng, err = core.Build(g, core.Options{
+			K: *k, Partitioner: strat,
+			Metrics: reg, Log: logger, SlowQuery: *slowQuery,
+		})
 		if err != nil {
-			log.Fatalf("build engine: %v", err)
+			logger.Errorf("build engine: %v", err)
+			os.Exit(1)
 		}
-		log.Printf("in-process engine: %d %s-partitioned partitions, %d boundary vertices",
+		logger.Infof("in-process engine: %d %s-partitioned partitions, %d boundary vertices",
 			eng.NumPartitions(), strat.Name(), eng.NumBoundary())
 	}
 	// No defer: os.Exit skips deferred calls, so close explicitly.
 	code := runQueries(eng, os.Stdin, os.Stdout, os.Stderr, *batch)
+	if *shards != "" && !*batch {
+		// Interactive distributed sessions report what the failover
+		// machinery did on the way out — invisible otherwise, since
+		// retried queries still answer normally.
+		for _, ph := range eng.Health() {
+			logger.Infof("partition %d: %d/%d replicas live, retries=%d failovers=%d redials=%d",
+				ph.Partition, ph.Live, ph.Replicas, ph.Retries, ph.Failovers, ph.Redials)
+		}
+	}
 	eng.Close()
+	ops.Close()
 	os.Exit(code)
 }
 

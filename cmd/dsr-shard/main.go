@@ -32,21 +32,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"dsr/internal/graph"
+	"dsr/internal/obs"
 	"dsr/internal/partition"
 	"dsr/internal/partition/locality"
 	"dsr/internal/shard"
 )
 
 func main() {
-	log.SetPrefix("dsr-shard: ")
-	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 	var (
 		graphPath   = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
 		numShards   = flag.Int("shards", 1, "total shard count of the deployment")
@@ -54,6 +52,8 @@ func main() {
 		replica     = flag.Int("replica", 0, "replica label for this partition's server (logs only; replicas are interchangeable)")
 		listen      = flag.String("listen", "127.0.0.1:7000", "TCP address to serve on")
 		partitioner = flag.String("partitioner", "hash", "partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N]; must match the coordinator's")
+		metricsAddr = flag.String("metrics-addr", "", "serve the metrics registry (JSON at /metrics) and net/http/pprof on this address; empty disables")
+		logLevel    = flag.String("log-level", "info", "log level floor: debug, info, warn, or error")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -61,36 +61,57 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsr-shard: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.StderrLogger(level).
+		With("component", "dsr-shard", "partition", *shardID, "replica", *replica)
+	fatalf := func(format string, args ...any) {
+		logger.Errorf(format, args...)
+		os.Exit(1)
+	}
 	if *shardID < 0 || *shardID >= *numShards {
-		log.Fatalf("-id %d outside [0, %d)", *shardID, *numShards)
+		fatalf("-id %d outside [0, %d)", *shardID, *numShards)
 	}
 	strat, err := locality.ParseSpec(*partitioner)
 	if err != nil {
-		log.Fatalf("-partitioner: %v", err)
+		fatalf("-partitioner: %v", err)
+	}
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		ops, err := obs.StartOps(*metricsAddr, reg)
+		if err != nil {
+			fatalf("metrics-addr: %v", err)
+		}
+		defer ops.Close()
+		logger.Infof("metrics on http://%s/metrics (pprof under /debug/pprof/)", ops.Addr())
 	}
 
 	g, err := graph.LoadEdgeListFile(*graphPath)
 	if err != nil {
-		log.Fatalf("load graph: %v", err)
+		fatalf("load graph: %v", err)
 	}
 	pt, err := strat.Partition(g, *numShards)
 	if err != nil {
-		log.Fatalf("partition (%s): %v", strat.Name(), err)
+		fatalf("partition (%s): %v", strat.Name(), err)
 	}
 	// ExtractOne materializes only this shard's partition: startup memory
 	// scales with the shard's share of the graph, not all k partitions.
 	sub := partition.ExtractOne(g, pt, *shardID)
 	sh := shard.New(*shardID, sub)
-	log.Printf("shard %d/%d replica %d (%s-partitioned): %d of %d vertices, %d entries, %d exits",
-		*shardID, *numShards, *replica, strat.Name(), sh.NumVertices(), g.NumVertices(),
+	logger.Infof("shard %d/%d (%s-partitioned): %d of %d vertices, %d entries, %d exits",
+		*shardID, *numShards, strat.Name(), sh.NumVertices(), g.NumVertices(),
 		len(sub.Entries), len(sub.Exits))
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		fatalf("listen: %v", err)
 	}
-	log.Printf("serving on %s", ln.Addr())
+	logger.Infof("serving on %s", ln.Addr())
 	srv := shard.NewServer(sh, *numShards, g.NumVertices(), g.Fingerprint(), pt.Digest())
+	srv.Instrument(reg, logger)
 
 	// Graceful drain on SIGTERM/SIGINT: finish in-flight batches, refuse
 	// new connections, then exit 0 (Serve returns nil once draining).
@@ -98,19 +119,19 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	go func() {
 		sig := <-sigc
-		log.Printf("received %v: draining (answering in-flight batches, refusing new connections)", sig)
+		logger.Infof("received %v: draining (answering in-flight batches, refusing new connections)", sig)
 		srv.Shutdown()
-		log.Printf("drained")
+		logger.Infof("drained")
 	}()
 
 	// ErrClosed means a drain began before Serve was entered (a SIGTERM
 	// racing startup) — that is a clean shutdown, not a serving failure.
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, shard.ErrClosed) {
-		log.Fatalf("serve: %v", err)
+		fatalf("serve: %v", err)
 	}
 	// Make sure the drain fully finished before exiting (Serve can
 	// return the moment the listener closes, while a batch is still
 	// being answered).
 	srv.Shutdown()
-	log.Printf("exiting")
+	logger.Infof("exiting")
 }

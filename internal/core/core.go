@@ -27,6 +27,7 @@ import (
 
 	"dsr/internal/dsr"
 	"dsr/internal/graph"
+	"dsr/internal/shard"
 )
 
 // Query pairs one source set with one target set for QueryBatch.
@@ -54,6 +55,11 @@ type PartitionError = dsr.PartitionError
 // about the deployment they serve (vertex count, graph fingerprint, or
 // partitioning digest); Connect refuses such a fleet outright.
 type MismatchError = dsr.MismatchError
+
+// PartitionHealth is one partition's replica-health snapshot from
+// Engine.Health: configured and live replica counts plus cumulative
+// retry/failover/redial totals since connect.
+type PartitionHealth = shard.PartitionHealth
 
 // Engine answers set-reachability queries over a partitioned graph.
 type Engine struct {
@@ -118,6 +124,11 @@ func (e *Engine) NumBoundary() int { return e.inner.NumBoundary() }
 // — the stitched boundary graph. It scales with the boundary, never
 // with partition interiors.
 func (e *Engine) ResidentBytes() int { return e.inner.ResidentBytes() }
+
+// Health reports per-partition replica health for replicated
+// deployments (live counts, retries, failovers, redials since connect);
+// nil for in-process and single-replica engines.
+func (e *Engine) Health() []PartitionHealth { return e.inner.Health() }
 
 // Close shuts the engine down deterministically: in-process shard
 // goroutines have exited and remote connections are closed when it

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dsr/internal/graph"
+	"dsr/internal/obs"
 )
 
 // TestQueryBatchDifferential compares QueryBatch against both the
@@ -91,14 +92,17 @@ func TestQueryBatchEmpty(t *testing.T) {
 }
 
 // TestQueryZeroAlloc locks the acceptance criterion that the in-process
-// Loopback query path stays allocation-free in steady state.
+// Loopback query path stays allocation-free in steady state — with full
+// instrumentation enabled (metrics registry, slow-query tracing armed):
+// telemetry must be free when idle and allocation-free when hot.
 func TestQueryZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
 	rng := rand.New(rand.NewSource(5))
 	g := randomGraph(rng, 2000, 3)
-	e, err := Build(g, Options{K: 4})
+	reg := obs.NewRegistry()
+	e, err := Build(g, Options{K: 4, Metrics: reg, SlowQuery: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +113,13 @@ func TestQueryZeroAlloc(t *testing.T) {
 		e.Query(S, T)
 	}
 	if allocs := testing.AllocsPerRun(200, func() { e.Query(S, T) }); allocs != 0 {
-		t.Errorf("Query allocates %v/op in steady state, want 0", allocs)
+		t.Errorf("Query allocates %v/op in steady state with metrics enabled, want 0", allocs)
+	}
+	if got := reg.Counter("dsr_queries_total").Load(); got < 200 {
+		t.Errorf("dsr_queries_total = %d after 200+ queries", got)
+	}
+	if reg.Histogram("dsr_query_latency_ns").Count() == 0 {
+		t.Error("query latency histogram never observed")
 	}
 }
 
@@ -167,5 +177,36 @@ func BenchmarkQueryBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i += B {
 		e.QueryBatch(batches[(i/B)%len(batches)])
+	}
+}
+
+// BenchmarkQueryWithMetrics is the instrumented twin of BenchmarkQuery:
+// single queries over Loopback with a live metrics registry and armed
+// slow-query tracing. Its BENCH_baseline entry pins allocs/op at 0, so
+// the bench gate fails CI if instrumentation ever puts an allocation on
+// the hot path.
+func BenchmarkQueryWithMetrics(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 10000
+	g := randomGraph(rng, n, 4)
+	e, err := Build(g, Options{K: 4, Metrics: obs.NewRegistry(), SlowQuery: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	const nq = 256
+	S := make([][]graph.VertexID, nq)
+	T := make([][]graph.VertexID, nq)
+	for i := range S {
+		S[i] = randomSet(rng, n, 8)
+		T[i] = randomSet(rng, n, 8)
+	}
+	for i := 0; i < nq; i++ { // warm scratch so steady state is 0 allocs/op
+		e.Query(S[i], T[i])
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Query(S[i%nq], T[i%nq])
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"dsr/internal/graph"
+	"dsr/internal/obs"
 	"dsr/internal/partition"
 	"dsr/internal/shard"
 	"dsr/internal/wire"
@@ -343,6 +344,14 @@ type Engine struct {
 	bvisit *partition.Marks // boundary-BFS visited marks
 	bgoal  *partition.Marks // boundary-BFS goal marks
 	bqueue []int32          // boundary-BFS queue
+
+	// Telemetry. met's instruments are nil (no-op) without a registry;
+	// trace is engine-owned scratch reused across batches (safe under
+	// mu), so per-query tracing allocates nothing at steady state.
+	met   engineMetrics
+	trace obs.Trace
+	slow  time.Duration // slow-query log threshold, 0 disables
+	log   *obs.Logger
 }
 
 // Options configures Build.
@@ -359,6 +368,16 @@ type Options struct {
 	// edge set, so a hand-rolled partitioning cannot smuggle in marks
 	// that disagree with the graph.
 	Partitioning *graph.Partitioning
+	// Metrics, if non-nil, receives the engine's telemetry (see the
+	// catalog in README.md). Nil disables instrumentation at zero cost:
+	// every instrument degrades to a no-op.
+	Metrics *obs.Registry
+	// Log, if non-nil, receives build/connect progress and slow-query
+	// traces. Nil logs nothing.
+	Log *obs.Logger
+	// SlowQuery, if positive, logs a structured span trace (at WARN) for
+	// every batch that takes longer end to end. 0 disables.
+	SlowQuery time.Duration
 }
 
 // Build partitions g and builds an in-process engine over it: one
@@ -394,7 +413,9 @@ func Build(g *graph.Graph, o Options) (*Engine, error) {
 		shards[i] = shard.New(i, s)
 	}
 	lb := shard.NewLoopback(shards)
-	e, err := connect(context.Background(), lb, pt.K, g.NumVertices(), nil)
+	e, err := connect(context.Background(), lb, pt.K, g.NumVertices(), telemetry{
+		reg: o.Metrics, log: o.Log, slow: o.SlowQuery,
+	})
 	if err != nil {
 		lb.Close()
 		return nil, err
@@ -425,9 +446,17 @@ type ClusterSpec struct {
 	// disables background reconnection (dead replicas are then only
 	// redialed on demand, when a round needs them).
 	ReconnectEvery time.Duration
-	// Logf, if non-nil, receives human-readable connect progress — one
-	// line per shard summary fetched, one for the stitched result.
-	Logf func(format string, args ...any)
+	// Log, if non-nil, receives human-readable connect progress — one
+	// line per shard summary fetched, one for the stitched result — and
+	// slow-query traces after connect.
+	Log *obs.Logger
+	// Metrics, if non-nil, receives coordinator and transport telemetry
+	// (see the catalog in README.md): query latency histograms,
+	// per-partition RPC counters, replica retry/failover/redial counts.
+	Metrics *obs.Registry
+	// SlowQuery, if positive, logs a structured span trace (at WARN) for
+	// every batch that takes longer end to end. 0 disables.
+	SlowQuery time.Duration
 }
 
 // Connect joins an existing shard fleet and builds the graph-free
@@ -459,7 +488,7 @@ func Connect(ctx context.Context, spec ClusterSpec) (*Engine, error) {
 	var tr shard.Transport
 	if replicated {
 		tr, err = shard.DialReplicated(ctx, groups, -1, spec.ExpectGraph, spec.ExpectDigest,
-			shard.ReplicatedOptions{ReconnectEvery: spec.ReconnectEvery})
+			shard.ReplicatedOptions{ReconnectEvery: spec.ReconnectEvery, Metrics: spec.Metrics})
 	} else {
 		// Single-replica deployments keep the plain per-shard connection:
 		// same failure semantics, no per-submit goroutine. Dial the
@@ -473,7 +502,12 @@ func Connect(ctx context.Context, spec ClusterSpec) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := connect(ctx, tr, len(groups), -1, spec.Logf)
+	if c, ok := tr.(*shard.Client); ok {
+		c.Instrument(spec.Metrics)
+	}
+	e, err := connect(ctx, tr, len(groups), -1, telemetry{
+		reg: spec.Metrics, log: spec.Log, slow: spec.SlowQuery,
+	})
 	if err != nil {
 		tr.Close()
 		return nil, err
@@ -481,19 +515,30 @@ func Connect(ctx context.Context, spec ClusterSpec) (*Engine, error) {
 	return e, nil
 }
 
+// telemetry bundles the observability knobs threaded from Build/Connect
+// into the engine. The zero value disables everything.
+type telemetry struct {
+	reg  *obs.Registry
+	log  *obs.Logger
+	slow time.Duration
+}
+
 // connect is the shared back half of Build and Connect: fetch every
 // shard's boundary summary over tr, cross-check the fleet's handshake
 // identities against each other, stitch, and wire the engine. n >= 0
 // pins the global vertex count (transports without a handshake, e.g.
 // in-process shards); n < 0 derives it from the hellos.
-func connect(ctx context.Context, tr shard.Transport, k, n int, logf func(string, ...any)) (*Engine, error) {
+func connect(ctx context.Context, tr shard.Transport, k, n int, tel telemetry) (*Engine, error) {
 	infos := make([]shard.SummaryInfo, k)
 	errs := make([]error, k)
+	sumFetch := tel.reg.Histogram("dsr_summary_fetch_ns")
 	parallelParts(k, func(p int) {
+		t0 := time.Now()
 		infos[p], errs[p] = tr.Summary(ctx, p)
-		if errs[p] == nil && logf != nil {
+		sumFetch.ObserveSince(t0)
+		if errs[p] == nil {
 			s := &infos[p].Summary
-			logf("shard %d/%d: summary received (%d boundary vertices, %d summary edges, %d cross edges)",
+			tel.log.Infof("shard %d/%d: summary received (%d boundary vertices, %d summary edges, %d cross edges)",
 				p+1, k, len(s.Boundary), len(s.Edges), len(s.Cross))
 		}
 	})
@@ -552,17 +597,15 @@ func connect(ctx context.Context, tr shard.Transport, k, n int, logf func(string
 	if err != nil {
 		return nil, err
 	}
-	if logf != nil {
-		logf("boundary graph stitched: %d vertices, %d edges, %d coordinator-resident bytes",
-			len(bg.verts), len(bg.arena), bg.residentBytes())
-	}
-	return newEngine(n, k, bg, tr), nil
+	tel.log.Infof("boundary graph stitched: %d vertices, %d edges, %d coordinator-resident bytes",
+		len(bg.verts), len(bg.arena), bg.residentBytes())
+	return newEngine(n, k, bg, tr, tel), nil
 }
 
 // newEngine wires a coordinator over an already-stitched boundary graph
 // and transport.
-func newEngine(n, k int, bg *boundaryGraph, tr shard.Transport) *Engine {
-	return &Engine{
+func newEngine(n, k int, bg *boundaryGraph, tr shard.Transport, tel telemetry) *Engine {
+	e := &Engine{
 		n:      n,
 		k:      k,
 		bg:     bg,
@@ -572,7 +615,26 @@ func newEngine(n, k int, bg *boundaryGraph, tr shard.Transport) *Engine {
 		sset:   &vset{},
 		bvisit: partition.NewMarks(len(bg.verts)),
 		bgoal:  partition.NewMarks(len(bg.verts)),
+		met:    newEngineMetrics(tel.reg, k),
+		slow:   tel.slow,
+		log:    tel.log,
 	}
+	e.met.partitions.Set(int64(k))
+	e.met.boundaryVerts.Set(int64(len(bg.verts)))
+	e.met.residentBytes.Set(int64(bg.residentBytes()))
+	return e
+}
+
+// Health reports the per-partition replica health of a replicated
+// deployment — live replica counts and cumulative retry, failover, and
+// redial totals since connect. It returns nil for non-replicated
+// transports (in-process engines, single-replica TCP): there is no
+// failover machinery to report on.
+func (e *Engine) Health() []shard.PartitionHealth {
+	if r, ok := e.tr.(*shard.Replicated); ok {
+		return r.Health()
+	}
+	return nil
 }
 
 // NumPartitions returns the partition count.
@@ -682,17 +744,59 @@ func (e *Engine) QueryBatchErr(queries []Query) ([]bool, error) {
 }
 
 // queryBatch runs one full coordinator round for the batch, leaving the
-// per-query answers in e.qs[i].ans. Caller holds e.mu.
+// per-query answers in e.qs[i].ans, and wraps it in telemetry: the span
+// trace accumulates into engine-owned scratch (no allocation at steady
+// state), batch counters and the latency histogram are updated, and a
+// batch slower than the SlowQuery threshold logs its trace at WARN.
+// Caller holds e.mu.
 func (e *Engine) queryBatch(queries []Query) error {
 	if e.closed {
 		panic("dsr: query on closed Engine")
 	}
+	e.trace.Begin()
+	root := e.trace.Add("query_batch", 0, 0, 0, -1, len(queries))
+	err := e.runBatch(queries)
+	total := e.trace.Since()
+	e.trace.SetDur(root, total)
+	e.met.batches.Inc()
+	e.met.queries.Add(uint64(len(queries)))
+	e.met.batchSize.Observe(int64(len(queries)))
+	e.met.latency.Observe(int64(total))
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) {
+			for _, f := range be.Failed {
+				if f {
+					e.met.failed.Inc()
+				}
+			}
+		} else {
+			// The whole round was poisoned: no answer is trustworthy.
+			e.met.failed.Add(uint64(len(queries)))
+		}
+	}
+	if e.slow > 0 && total > e.slow {
+		e.met.slow.Inc()
+		if e.log.Enabled(obs.LevelWarn) {
+			e.log.Warnf("slow batch: %d queries took %v (threshold %v)\n%s",
+				len(queries), total, e.slow, e.trace.String())
+		}
+	}
+	return err
+}
+
+// runBatch is the coordinator round itself: assembly, broadcast, fan-in
+// drain, boundary finish. Caller holds e.mu.
+func (e *Engine) runBatch(queries []Query) error {
 	n := graph.VertexID(e.n)
 	for len(e.qs) < len(queries) {
 		e.qs = append(e.qs, qstate{})
 	}
 	e.tasks = e.tasks[:0]
 	e.arena = e.arena[:0]
+
+	asmStart := e.trace.Since()
+	asm := e.trace.Add("assemble", 1, asmStart, 0, -1, 0)
 
 	// Assembly: deduplicate every query's S and T into the shared seed
 	// arena and emit one Forward and one Backward task per undecided
@@ -745,12 +849,21 @@ func (e *Engine) queryBatch(queries []Query) error {
 			wire.Task{Kind: wire.Backward, Query: uint32(i), Seeds: tSl})
 		st.expS, st.expT = len(sSl), len(tSl)
 	}
+	e.trace.SetDur(asm, e.trace.Since()-asmStart)
+	e.trace.SetN(asm, len(e.tasks))
 
 	// Fan out: broadcast the one task batch to every shard. Which shard
 	// owns which seed is the shards' business.
 	nsub := 0
+	var tsub time.Time
+	var roundStart time.Duration
+	round := -1
 	if len(e.tasks) > 0 {
+		tsub = time.Now()
+		roundStart = e.trace.Since()
+		round = e.trace.Add("round", 1, roundStart, 0, -1, len(e.tasks))
 		for p := 0; p < e.k; p++ {
+			e.met.rpcs[p].Inc()
 			e.tr.Submit(p, e.tasks, e.replyc)
 		}
 		nsub = e.k
@@ -770,10 +883,20 @@ func (e *Engine) queryBatch(queries []Query) error {
 	var terr error
 	for r := 0; r < nsub; r++ {
 		rep := <-e.replyc
+		rpcDur := time.Since(tsub)
+		e.met.rpcLat[rep.Shard].Observe(int64(rpcDur))
 		if rep.Err != nil {
+			e.met.rpcErrs[rep.Shard].Inc()
+			e.trace.Add("rpc", 2, roundStart, rpcDur, rep.Shard, 0)
 			perr = append(perr, PartitionError{Partition: rep.Shard, Err: rep.Err})
 			continue
 		}
+		frontier := 0
+		for ri := range rep.Results {
+			frontier += len(rep.Results[ri].Boundary)
+		}
+		e.met.frontier.Observe(int64(frontier))
+		e.trace.Add("rpc", 2, roundStart, rpcDur, rep.Shard, frontier)
 		if len(rep.Results) != len(e.tasks) {
 			terr = fmt.Errorf("dsr: shard %d answered %d results for a %d-task batch", rep.Shard, len(rep.Results), len(e.tasks))
 			continue
@@ -813,6 +936,12 @@ func (e *Engine) queryBatch(queries []Query) error {
 			}
 		}
 	}
+	if round >= 0 {
+		wait := e.trace.Since() - roundStart
+		e.trace.SetDur(round, wait)
+		e.met.faninWait.Observe(int64(wait))
+		e.met.rounds.Inc()
+	}
 	if terr != nil {
 		return terr
 	}
@@ -823,6 +952,9 @@ func (e *Engine) queryBatch(queries []Query) error {
 	// can only be missing, never wrong, so a local hit or a boundary
 	// path proves the query true regardless of shortfall — only a
 	// `false` built on incomplete coverage is untrustworthy and fails.
+	finStart := e.trace.Since()
+	fin := e.trace.Add("finish", 1, finStart, 0, -1, 0)
+	searches := 0
 	anyFailed := false
 	for i := range queries {
 		st := &e.qs[i]
@@ -833,15 +965,22 @@ func (e *Engine) queryBatch(queries []Query) error {
 			st.ans = true
 			continue
 		}
-		if len(st.seeds) > 0 && len(st.goals) > 0 && e.boundaryReach(st.seeds, st.goals) {
-			st.ans = true
-			continue
+		if len(st.seeds) > 0 && len(st.goals) > 0 {
+			searches++
+			if e.boundaryReach(st.seeds, st.goals) {
+				st.ans = true
+				continue
+			}
 		}
 		if st.gotS < st.expS || st.gotT < st.expT {
 			st.failed = true
 			anyFailed = true
 		}
 	}
+	finDur := e.trace.Since() - finStart
+	e.trace.SetDur(fin, finDur)
+	e.trace.SetN(fin, searches)
+	e.met.finish.Observe(int64(finDur))
 	if anyFailed && perr == nil {
 		// Every shard answered, yet some seed was owned by none of them:
 		// the fleet disagrees with itself about placement. That is not a

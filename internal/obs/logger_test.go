@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerFieldsAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, LevelInfo)
+	l := base.With("component", "dsr-shard", "partition", 2).With("replica", 1)
+
+	l.Debugf("below the floor")
+	l.Infof("serving on %s", "127.0.0.1:7000")
+	l.Warnf("slow")
+	l.Errorf("bad: %d", 7)
+
+	out := buf.String()
+	if strings.Contains(out, "below the floor") {
+		t.Error("debug line emitted at info level")
+	}
+	for _, want := range []string{
+		"INFO component=dsr-shard partition=2 replica=1: serving on 127.0.0.1:7000",
+		"WARN component=dsr-shard partition=2 replica=1: slow",
+		"ERROR component=dsr-shard partition=2 replica=1: bad: 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every line is timestamped in the documented shape.
+	lineRe := regexp.MustCompile(`^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z (INFO|WARN|ERROR) `)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !lineRe.MatchString(line) {
+			t.Errorf("malformed line %q", line)
+		}
+	}
+}
+
+func TestLoggerEnabled(t *testing.T) {
+	l := NewLogger(&bytes.Buffer{}, LevelWarn)
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelWarn) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled disagrees with the level floor")
+	}
+	var nilL *Logger
+	if nilL.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+}
+
+func TestLoggerNil(t *testing.T) {
+	var l *Logger
+	l.Infof("into the void")      // must not panic
+	l.With("k", "v").Errorf("no") // nil child of nil
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Level
+	}{{"debug", LevelDebug}, {"INFO", LevelInfo}, {"Warn", LevelWarn}, {"warning", LevelWarn}, {"error", LevelError}} {
+		got, err := ParseLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel must reject unknown levels")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lv, want := range map[Level]string{LevelDebug: "DEBUG", LevelInfo: "INFO", LevelWarn: "WARN", LevelError: "ERROR", Level(9): "LEVEL(9)"} {
+		if got := lv.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", lv, got, want)
+		}
+	}
+}
+
+// TestLoggerConcurrent exercises the shared sink under the race
+// detector: children created from one base logger must serialize their
+// writes, yielding whole lines.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := base.With("worker", w)
+			for i := 0; i < 200; i++ {
+				l.Infof("line %d", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "worker=") || !strings.Contains(line, ": line ") {
+			t.Fatalf("torn line %q", line)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the ops endpoint for a registry:
+//
+//	GET /metrics       — the registry snapshot as JSON
+//	GET /healthz       — 200 "ok" liveness probe
+//	GET /debug/pprof/* — net/http/pprof profiles
+//
+// The pprof handlers are mounted explicitly on a private mux, so
+// serving ops never depends on (or pollutes) http.DefaultServeMux.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a running ops endpoint; Close stops it.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartOps listens on addr and serves the ops endpoint for reg in a
+// background goroutine. It returns once the listener is bound, so
+// Addr() is immediately valid (addr may use port 0). The server's
+// lifetime is bounded by Close.
+func StartOps(addr string, reg *Registry) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &OpsServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go o.srv.Serve(ln)
+	return o, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43721").
+func (o *OpsServer) Addr() string { return o.ln.Addr().String() }
+
+// Close stops the ops server. Nil-safe, so binaries can close
+// unconditionally whether or not -metrics-addr was given.
+func (o *OpsServer) Close() error {
+	if o == nil {
+		return nil
+	}
+	return o.srv.Close()
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestOpsServerMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Add(42)
+	reg.Histogram("lat_ns").Observe(1000)
+	ops, err := StartOps("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + ops.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["up_total"] != 42 {
+		t.Errorf("/metrics counter = %d, want 42", snap.Counters["up_total"])
+	}
+	if snap.Histograms["lat_ns"].Count != 1 {
+		t.Errorf("/metrics histogram count = %d, want 1", snap.Histograms["lat_ns"].Count)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestOpsServerCloseNil(t *testing.T) {
+	var o *OpsServer
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsServerBadAddr(t *testing.T) {
+	if _, err := StartOps("127.0.0.1:1:bad", nil); err == nil {
+		t.Fatal("StartOps must fail on an unparseable address")
+	}
+}

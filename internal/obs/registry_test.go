@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRegistrySharedByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total")
+	b := r.Counter("x_total")
+	if a != b {
+		t.Fatal("same name must yield the same counter")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := r.Counter("x_total").Load(); got != 3 {
+		t.Fatalf("shared counter = %d, want 3", got)
+	}
+	if r.Gauge("g") != r.Gauge("g") || r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("gauges and histograms must be shared by name too")
+	}
+	// The three namespaces are independent: one name, three instruments.
+	if r.Counter("dup") == nil || r.Gauge("dup") == nil || r.Histogram("dup") == nil {
+		t.Fatal("namespaces must not collide")
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("rpc_total", "partition", 2)).Add(7)
+	r.Gauge("live").Set(-3)
+	h := r.Histogram("lat_ns")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got := snap.Counters["rpc_total{partition=2}"]; got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if got := snap.Gauges["live"]; got != -3 {
+		t.Errorf("gauge = %d, want -3", got)
+	}
+	hs := snap.Histograms["lat_ns"]
+	if hs.Count != 1000 || hs.Max != 1_000_000 {
+		t.Errorf("histogram snapshot count=%d max=%d", hs.Count, hs.Max)
+	}
+	if hs.P50 == 0 || hs.P99 == 0 || hs.P999 == 0 {
+		t.Errorf("quantiles missing from snapshot: %+v", hs)
+	}
+	if hs.P50 > hs.P99 || hs.P99 > hs.P999 {
+		t.Errorf("quantiles not monotone: %+v", hs)
+	}
+}
+
+func TestRegistryNil(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(1)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram(Name("h", "w", w)).Observe(int64(i))
+				_ = r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{Name("plain"), "plain"},
+		{Name("rpc", "partition", 3), "rpc{partition=3}"},
+		{Name("rpc", "partition", 3, "replica", 1), "rpc{partition=3,replica=1}"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("Name = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestCounterGaugeNil(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	c.Inc()
+	c.Add(5)
+	g.Set(5)
+	g.Add(-1)
+	if c.Load() != 0 || g.Load() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one timed step inside a Trace: a query round, one shard's
+// RPC within it, the boundary fan-in. Start and Dur are offsets from
+// the trace's Begin. Part is the partition involved (-1 when the span
+// is not partition-scoped) and N is the span's payload size — batch
+// size for a round, frontier size (boundary vertices reported) for a
+// shard RPC. Depth places the span in the tree for rendering.
+type Span struct {
+	Name  string
+	Depth int
+	Start time.Duration
+	Dur   time.Duration
+	Part  int
+	N     int
+}
+
+// Trace accumulates the span tree of one query (or query batch) into
+// caller-owned scratch: the engine holds one Trace and re-Begins it
+// per batch, so steady-state tracing allocates nothing (the span slice
+// is reused once grown). Only rendering — which happens on the
+// slow-query log path, never per query — allocates.
+type Trace struct {
+	t0    time.Time
+	spans []Span
+}
+
+// Begin resets the trace and starts its clock.
+func (t *Trace) Begin() {
+	t.t0 = time.Now()
+	t.spans = t.spans[:0]
+}
+
+// Since returns the offset of "now" from Begin.
+func (t *Trace) Since() time.Duration { return time.Since(t.t0) }
+
+// Add appends a span and returns its index, so a caller that knows a
+// span's start before its duration (a round enclosing per-shard RPCs)
+// can patch it via SetDur once it closes.
+func (t *Trace) Add(name string, depth int, start, dur time.Duration, part, n int) int {
+	t.spans = append(t.spans, Span{Name: name, Depth: depth, Start: start, Dur: dur, Part: part, N: n})
+	return len(t.spans) - 1
+}
+
+// SetDur closes span i with the given duration.
+func (t *Trace) SetDur(i int, dur time.Duration) { t.spans[i].Dur = dur }
+
+// SetN updates span i's payload size.
+func (t *Trace) SetN(i int, n int) { t.spans[i].N = n }
+
+// Spans returns the accumulated spans; the slice aliases trace-owned
+// scratch valid until the next Begin.
+func (t *Trace) Spans() []Span { return t.spans }
+
+// String renders the span tree, one line per span, indented by depth:
+//
+//	query_batch n=8 start=0s dur=1.2ms
+//	  round n=8 start=10µs dur=1.1ms
+//	    rpc part=2 n=17 start=12µs dur=840µs
+//
+// Allocates; meant for the slow-query log and debugging, not hot paths.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, s := range t.spans {
+		for i := 0; i < s.Depth; i++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(s.Name)
+		if s.Part >= 0 {
+			fmt.Fprintf(&b, " part=%d", s.Part)
+		}
+		fmt.Fprintf(&b, " n=%d start=%s dur=%s\n", s.N, s.Start, s.Dur)
+	}
+	return b.String()
+}

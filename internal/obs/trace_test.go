@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndRender(t *testing.T) {
+	var tr Trace
+	tr.Begin()
+	root := tr.Add("query_batch", 0, 0, 0, -1, 8)
+	round := tr.Add("round", 1, time.Microsecond, 0, -1, 8)
+	tr.Add("rpc", 2, 2*time.Microsecond, 800*time.Microsecond, 2, 17)
+	tr.SetDur(round, time.Millisecond)
+	tr.SetDur(root, 2*time.Millisecond)
+	tr.SetN(root, 9)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Dur != 2*time.Millisecond || spans[0].N != 9 {
+		t.Errorf("root span not patched: %+v", spans[0])
+	}
+	out := tr.String()
+	for _, want := range []string{
+		"query_batch n=9",
+		"  round n=8",
+		"    rpc part=2 n=17",
+		"dur=800µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Depth-0 spans render unindented; partition -1 renders no part=.
+	if strings.Contains(strings.Split(out, "\n")[0], "part=") {
+		t.Errorf("root span must not carry part=: %s", out)
+	}
+}
+
+func TestTraceReuse(t *testing.T) {
+	var tr Trace
+	tr.Begin()
+	for i := 0; i < 100; i++ {
+		tr.Add("s", 1, 0, 0, i, 0)
+	}
+	tr.Begin()
+	if len(tr.Spans()) != 0 {
+		t.Fatal("Begin must clear spans")
+	}
+	tr.Add("fresh", 0, 0, 0, -1, 0)
+	if got := len(tr.Spans()); got != 1 {
+		t.Fatalf("got %d spans after reuse, want 1", got)
+	}
+	if tr.Since() < 0 {
+		t.Fatal("Since must be non-negative")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"dsr/internal/obs"
 	"dsr/internal/shard"
 	"dsr/internal/wire"
 )
@@ -71,6 +72,13 @@ type Options struct {
 	// Manual Kill is not exempted — tests that take a whole partition
 	// down do it explicitly.
 	ProtectFirst bool
+	// Metrics, when non-nil, records every injected fault into the
+	// registry: chaos_drops_total, chaos_delays_total, and
+	// chaos_kills_total, each labeled {partition,replica}. Because every
+	// decision is deterministic in (Seed, per-replica submit counts),
+	// these counters are exactly reproducible — the differential test
+	// replays a schedule and demands identical registries.
+	Metrics *obs.Registry
 }
 
 // Faults injects deterministic faults into wrapped replicas. One
@@ -89,6 +97,8 @@ type replicaFaults struct {
 	dead    bool
 	script  []Event // this replica's events, in Script order
 	next    int
+	// Fault counters (nil without Options.Metrics; nil-safe no-ops).
+	drops, delays, kills *obs.Counter
 }
 
 // New builds an injector from opts.
@@ -101,7 +111,10 @@ func (f *Faults) state(part, replica int) *replicaFaults {
 	rf := f.reps[key]
 	if rf == nil {
 		rf = &replicaFaults{
-			rng: rand.New(rand.NewSource(f.opts.Seed + int64(part)*1_000_003 + int64(replica)*7_919)),
+			rng:    rand.New(rand.NewSource(f.opts.Seed + int64(part)*1_000_003 + int64(replica)*7_919)),
+			drops:  f.opts.Metrics.Counter(obs.Name("chaos_drops_total", "partition", part, "replica", replica)),
+			delays: f.opts.Metrics.Counter(obs.Name("chaos_delays_total", "partition", part, "replica", replica)),
+			kills:  f.opts.Metrics.Counter(obs.Name("chaos_kills_total", "partition", part, "replica", replica)),
 		}
 		for _, ev := range f.opts.Script {
 			if ev.Part == part && ev.Replica == replica {
@@ -120,7 +133,11 @@ func (f *Faults) state(part, replica int) *replicaFaults {
 func (f *Faults) Kill(part, replica int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.state(part, replica).dead = true
+	rf := f.state(part, replica)
+	if !rf.dead {
+		rf.kills.Inc()
+	}
+	rf.dead = true
 }
 
 // Revive reverses a Kill (manual or scripted).
@@ -151,6 +168,9 @@ func (f *Faults) decide(part, replica int) (time.Duration, error) {
 		if ev.Action == Kill && protected {
 			continue
 		}
+		if ev.Action == Kill && !rf.dead {
+			rf.kills.Inc()
+		}
 		rf.dead = ev.Action == Kill
 	}
 	rf.submits++
@@ -163,8 +183,10 @@ func (f *Faults) decide(part, replica int) (time.Duration, error) {
 	var delay time.Duration
 	if f.opts.DelayProb > 0 && rf.rng.Float64() < f.opts.DelayProb && f.opts.MaxDelay > 0 {
 		delay = time.Duration(1 + rf.rng.Int63n(int64(f.opts.MaxDelay)))
+		rf.delays.Inc()
 	}
 	if f.opts.DropProb > 0 && rf.rng.Float64() < f.opts.DropProb {
+		rf.drops.Inc()
 		return delay, fmt.Errorf("chaos: injected drop (partition %d replica %d submit %d)", part, replica, rf.submits)
 	}
 	return delay, nil

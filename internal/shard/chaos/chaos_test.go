@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"context"
+	"maps"
 	"net"
 	"slices"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"dsr/internal/graph"
+	"dsr/internal/obs"
 	"dsr/internal/partition"
 	"dsr/internal/shard"
 	"dsr/internal/wire"
@@ -157,6 +159,99 @@ func TestFaultsProtectFirst(t *testing.T) {
 	f.Revive(2, 0)
 	if err := submit(t, r0); err != nil {
 		t.Fatalf("revived replica still dead: %v", err)
+	}
+}
+
+// TestFaultCountersMatchSchedule: with Metrics set, every injected
+// fault lands in the registry — and because every decision is a pure
+// function of (Seed, per-replica submit counts), a second injector
+// with identical Options replayed over the recorded submit counts must
+// produce the exact same counters. That differential proves the
+// telemetry reports the seeded schedule, not goroutine luck.
+func TestFaultCountersMatchSchedule(t *testing.T) {
+	opts := Options{
+		Seed:      99,
+		DropProb:  0.3,
+		DelayProb: 0.25,
+		MaxDelay:  time.Microsecond,
+		Script: []Event{
+			{Part: 1, Replica: 1, After: 5, Action: Kill},
+			{Part: 1, Replica: 1, After: 9, Action: Revive},
+		},
+	}
+	type pr struct{ p, r int }
+	replicas := []pr{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+
+	regA := obs.NewRegistry()
+	oa := opts
+	oa.Metrics = regA
+	f := New(oa)
+	drops := make(map[pr]uint64)
+	for _, x := range replicas {
+		rep := f.Replica(x.p, x.r, stubReplica{})
+		for i := 0; i < 40; i++ {
+			if err := submit(t, rep); err != nil && strings.Contains(err.Error(), "injected drop") {
+				drops[x]++
+			}
+		}
+	}
+	// The registry must agree exactly with what the transport saw.
+	for _, x := range replicas {
+		name := obs.Name("chaos_drops_total", "partition", x.p, "replica", x.r)
+		if got := regA.Counter(name).Load(); got != drops[x] {
+			t.Errorf("%s = %d, transport observed %d drops", name, got, drops[x])
+		}
+	}
+	if got := regA.Counter(obs.Name("chaos_kills_total", "partition", 1, "replica", 1)).Load(); got != 1 {
+		t.Errorf("scripted kill counted %d times, want 1", got)
+	}
+	if regA.Counter(obs.Name("chaos_delays_total", "partition", 0, "replica", 0)).Load() == 0 {
+		t.Error("no delays counted at DelayProb=0.25 over 40 submits")
+	}
+
+	// Replay: a fresh injector, same Options, driven by the recorded
+	// per-replica submit counts, must fill an identical registry.
+	regB := obs.NewRegistry()
+	ob := opts
+	ob.Metrics = regB
+	g := New(ob)
+	for _, x := range replicas {
+		rep := g.Replica(x.p, x.r, stubReplica{})
+		for i := 0; i < f.Submits(x.p, x.r); i++ {
+			submit(t, rep)
+		}
+	}
+	a, b := regA.Snapshot().Counters, regB.Snapshot().Counters
+	if !maps.Equal(a, b) {
+		t.Fatalf("replayed fault counters diverge:\n first: %v\nreplay: %v", a, b)
+	}
+}
+
+// TestFaultCountersManualKill: chaos_kills_total counts dead
+// transitions, not Kill calls — a double Kill is one kill, a
+// revive-then-kill is two — and a submit rejected by a dead replica is
+// not a drop.
+func TestFaultCountersManualKill(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := New(Options{Metrics: reg})
+	rep := f.Replica(3, 0, stubReplica{})
+	kills := reg.Counter(obs.Name("chaos_kills_total", "partition", 3, "replica", 0))
+	drops := reg.Counter(obs.Name("chaos_drops_total", "partition", 3, "replica", 0))
+	f.Kill(3, 0)
+	f.Kill(3, 0) // already dead: not a new transition
+	if got := kills.Load(); got != 1 {
+		t.Fatalf("kills after double Kill = %d, want 1", got)
+	}
+	if err := submit(t, rep); err == nil {
+		t.Fatal("submit to killed replica succeeded")
+	}
+	if got := drops.Load(); got != 0 {
+		t.Fatalf("dead-replica rejection counted as a drop: %d", got)
+	}
+	f.Revive(3, 0)
+	f.Kill(3, 0)
+	if got := kills.Load(); got != 2 {
+		t.Fatalf("kills after revive+kill = %d, want 2", got)
 	}
 }
 

@@ -48,8 +48,16 @@ type ReplicaDialer func(ctx context.Context) (Replica, error)
 // wrong (restarted from a different graph or partitioning spec) is
 // refused on reconnect exactly like at first contact.
 func TCPReplicaDialer(p int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64) ReplicaDialer {
+	return tcpReplicaDialer(p, addr, numShards, wantVertices, wantGraph, wantPart, nil)
+}
+
+// tcpReplicaDialer is TCPReplicaDialer with a client-side frame-counter
+// attachment; DialReplicated uses it so every replica connection — both
+// at construction and on every redial — shares the transport's
+// net_client_* counters.
+func tcpReplicaDialer(p int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64, met *netMetrics) ReplicaDialer {
 	return func(ctx context.Context) (Replica, error) {
-		return dialShard(ctx, p, addr, numShards, wantVertices, wantGraph, wantPart)
+		return dialShard(ctx, p, addr, numShards, wantVertices, wantGraph, wantPart, met)
 	}
 }
 

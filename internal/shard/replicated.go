@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dsr/internal/obs"
 	"dsr/internal/wire"
 )
 
@@ -23,6 +24,21 @@ type ReplicatedOptions struct {
 	// replicas are then only retried when their partition has no live
 	// replica left.
 	ReconnectEvery time.Duration
+	// Metrics, if non-nil, receives the transport's failover telemetry:
+	// per-partition retry/failover/redial counters, live-replica gauges,
+	// and per-replica RPC latency histograms (see README.md). Health()
+	// works either way — the counters it reads always exist.
+	Metrics *obs.Registry
+}
+
+// counterOr binds name in reg, or returns a standalone counter when reg
+// is nil — Replicated's failover counters must count regardless of
+// whether the deployment exports metrics, because Health() reports them.
+func counterOr(reg *obs.Registry, name string) *obs.Counter {
+	if c := reg.Counter(name); c != nil {
+		return c
+	}
+	return &obs.Counter{}
 }
 
 // Replicated is the replica-aware Transport: partition p is served by
@@ -100,6 +116,15 @@ type replicaSet struct {
 	expect  *Expect // pinned fleet identity, nil until Pin
 
 	dialMu sync.Mutex // serializes redials so loop and Submit don't race a dial
+
+	// Failover telemetry. The counters are never nil (counterOr) so
+	// Health() reports real numbers even without a registry; liveG and
+	// lat may be nil instruments (no-ops) when metrics are disabled.
+	retries   *obs.Counter     // shard_retries_total{partition=p}
+	failovers *obs.Counter     // shard_failovers_total{partition=p}
+	redials   *obs.Counter     // shard_redials_total{partition=p}
+	liveG     *obs.Gauge       // shard_replicas_live{partition=p}
+	lat       []*obs.Histogram // shard_rpc_latency_ns{partition=p,replica=i}
 }
 
 // NewReplicated dials every replica of every partition and returns the
@@ -123,10 +148,18 @@ func NewReplicated(ctx context.Context, groups [][]ReplicaDialer, opts Replicate
 			return nil, fmt.Errorf("shard: partition %d has no replicas", p)
 		}
 		rs := &replicaSet{
-			part:    p,
-			dialers: dialers,
-			live:    make([]Replica, len(dialers)),
-			lastErr: make([]error, len(dialers)),
+			part:      p,
+			dialers:   dialers,
+			live:      make([]Replica, len(dialers)),
+			lastErr:   make([]error, len(dialers)),
+			retries:   counterOr(opts.Metrics, obs.Name("shard_retries_total", "partition", p)),
+			failovers: counterOr(opts.Metrics, obs.Name("shard_failovers_total", "partition", p)),
+			redials:   counterOr(opts.Metrics, obs.Name("shard_redials_total", "partition", p)),
+			liveG:     opts.Metrics.Gauge(obs.Name("shard_replicas_live", "partition", p)),
+			lat:       make([]*obs.Histogram, len(dialers)),
+		}
+		for i := range dialers {
+			rs.lat[i] = opts.Metrics.Histogram(obs.Name("shard_rpc_latency_ns", "partition", p, "replica", i))
 		}
 		nlive := 0
 		for i, dial := range dialers {
@@ -138,6 +171,7 @@ func NewReplicated(ctx context.Context, groups [][]ReplicaDialer, opts Replicate
 			rs.live[i] = rep
 			nlive++
 		}
+		rs.liveG.Set(int64(nlive))
 		r.sets[p] = rs
 		if nlive == 0 {
 			r.shutdown()
@@ -161,11 +195,12 @@ func NewReplicated(ctx context.Context, groups [][]ReplicaDialer, opts Replicate
 // construction dials. Handshake expectations follow Dial: wantVertices
 // < 0 skips the vertex-count check, 0 skips either digest.
 func DialReplicated(ctx context.Context, groups [][]string, wantVertices int, wantGraph, wantPart uint64, opts ReplicatedOptions) (*Replicated, error) {
+	met := newNetMetrics(opts.Metrics, "net_client")
 	dialers := make([][]ReplicaDialer, len(groups))
 	for p, addrs := range groups {
 		dialers[p] = make([]ReplicaDialer, len(addrs))
 		for i, addr := range addrs {
-			dialers[p][i] = TCPReplicaDialer(p, addr, len(groups), wantVertices, wantGraph, wantPart)
+			dialers[p][i] = tcpReplicaDialer(p, addr, len(groups), wantVertices, wantGraph, wantPart, met)
 		}
 	}
 	return NewReplicated(ctx, dialers, opts)
@@ -197,6 +232,7 @@ func (rs *replicaSet) pin(e *Expect) {
 			bad = append(bad, rep)
 		}
 	}
+	rs.updateLiveLocked()
 	rs.mu.Unlock()
 	for _, rep := range bad {
 		rep.Close()
@@ -205,6 +241,44 @@ func (rs *replicaSet) pin(e *Expect) {
 
 // NumShards returns the partition count.
 func (r *Replicated) NumShards() int { return len(r.sets) }
+
+// PartitionHealth is one partition's replica-health snapshot: how many
+// replicas are configured and live, and the cumulative failover activity
+// since the transport was built.
+type PartitionHealth struct {
+	Partition int    // partition index
+	Replicas  int    // configured replica count
+	Live      int    // currently-connected replicas
+	Retries   uint64 // batches re-run on a sibling after a replica failed
+	Failovers uint64 // live->dead transitions
+	Redials   uint64 // dial attempts against dead endpoints
+}
+
+// Health snapshots every partition's replica health. It works whether or
+// not the transport was built with a metrics registry — the counters it
+// reads always count.
+func (r *Replicated) Health() []PartitionHealth {
+	out := make([]PartitionHealth, len(r.sets))
+	for p, rs := range r.sets {
+		rs.mu.Lock()
+		live := 0
+		for _, rep := range rs.live {
+			if rep != nil {
+				live++
+			}
+		}
+		rs.mu.Unlock()
+		out[p] = PartitionHealth{
+			Partition: p,
+			Replicas:  len(rs.dialers),
+			Live:      live,
+			Retries:   rs.retries.Load(),
+			Failovers: rs.failovers.Load(),
+			Redials:   rs.redials.Load(),
+		}
+	}
+	return out
+}
 
 // NumLive returns how many of partition p's replicas are currently
 // connected — observability for tests and operators, not a correctness
@@ -313,6 +387,7 @@ func (r *Replicated) reconnectLoop(every time.Duration) {
 func (rs *replicaSet) run(ctx context.Context, tasks []wire.Task) Reply {
 	tried := make([]bool, len(rs.dialers))
 	inner := make(chan Reply, 1)
+	attempts := 0
 	for {
 		idx, rep := rs.pick(tried)
 		if rep == nil {
@@ -321,9 +396,15 @@ func (rs *replicaSet) run(ctx context.Context, tasks []wire.Task) Reply {
 		if rep == nil {
 			return Reply{Shard: rs.part, Err: &ReplicaSetError{Part: rs.part, Replicas: rs.describeFailures()}}
 		}
+		if attempts > 0 {
+			rs.retries.Inc() // this batch is being re-run on a sibling
+		}
+		attempts++
 		tried[idx] = true
+		t0 := time.Now()
 		rep.Submit(tasks, inner)
 		reply := <-inner
+		rs.lat[idx].ObserveSince(t0)
 		if reply.Err == nil {
 			reply.Shard = rs.part
 			return reply
@@ -338,6 +419,7 @@ func (rs *replicaSet) run(ctx context.Context, tasks []wire.Task) Reply {
 // remaining candidates on a deadline that already passed.
 func (rs *replicaSet) summary(ctx context.Context) (SummaryInfo, error) {
 	tried := make([]bool, len(rs.dialers))
+	attempts := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return SummaryInfo{}, fmt.Errorf("shard %d: summary: %w", rs.part, err)
@@ -349,6 +431,10 @@ func (rs *replicaSet) summary(ctx context.Context) (SummaryInfo, error) {
 		if rep == nil {
 			return SummaryInfo{}, &ReplicaSetError{Part: rs.part, Replicas: rs.describeFailures()}
 		}
+		if attempts > 0 {
+			rs.retries.Inc()
+		}
+		attempts++
 		tried[idx] = true
 		sum, err := rep.Summary(ctx)
 		if err == nil {
@@ -403,6 +489,7 @@ func (rs *replicaSet) redialDead(ctx context.Context, tried []bool) (int, Replic
 		if ctx.Err() != nil {
 			return -1, nil // transport closed (or deadline hit) mid-redial
 		}
+		rs.redials.Inc()
 		rep, err := rs.dialers[idx](ctx)
 		if err != nil {
 			rs.mu.Lock()
@@ -433,6 +520,7 @@ func (rs *replicaSet) reconnect(ctx context.Context) {
 		if !dead || ctx.Err() != nil {
 			continue
 		}
+		rs.redials.Inc()
 		rep, err := rs.dialers[idx](ctx)
 		if err != nil {
 			rs.mu.Lock()
@@ -468,8 +556,20 @@ func (rs *replicaSet) install(idx int, rep Replica) (installed, closed bool) {
 	}
 	rs.live[idx] = rep
 	rs.lastErr[idx] = nil
+	rs.updateLiveLocked()
 	rs.mu.Unlock()
 	return true, false
+}
+
+// updateLiveLocked refreshes the live-replica gauge. Caller holds rs.mu.
+func (rs *replicaSet) updateLiveLocked() {
+	n := 0
+	for _, rep := range rs.live {
+		if rep != nil {
+			n++
+		}
+	}
+	rs.liveG.Set(int64(n))
 }
 
 // markDead records why replica idx failed and closes it, unless a
@@ -480,6 +580,8 @@ func (rs *replicaSet) markDead(idx int, failed Replica, err error) {
 	if rs.live[idx] == failed {
 		rs.live[idx] = nil
 		rs.lastErr[idx] = err
+		rs.failovers.Inc() // a live replica just transitioned to dead
+		rs.updateLiveLocked()
 	}
 	rs.mu.Unlock()
 	failed.Close()
@@ -493,6 +595,7 @@ func (rs *replicaSet) closeAll() {
 	for i := range rs.live {
 		rs.live[i] = nil
 	}
+	rs.updateLiveLocked()
 	rs.mu.Unlock()
 	for _, rep := range live {
 		if rep != nil {

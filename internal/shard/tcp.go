@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dsr/internal/obs"
 	"dsr/internal/wire"
 )
 
@@ -43,7 +45,25 @@ type Server struct {
 	closed   bool
 	draining bool
 	wg       sync.WaitGroup
+
+	met  netInstruments             // net_server_* frame counters
+	logp atomic.Pointer[obs.Logger] // protocol-failure logging
 }
+
+// Instrument wires telemetry into the server: frame and byte counters
+// under net_server_* in reg, and a logger for connection-level protocol
+// failures. Safe to call at any time — before Serve in the normal case,
+// or while serving (the slots are swapped atomically). A nil argument
+// leaves its slot untouched.
+func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger) {
+	s.met.set(newNetMetrics(reg, "net_server"))
+	if log != nil {
+		s.logp.Store(log)
+	}
+}
+
+// logger returns the instrumented logger (nil, a no-op, by default).
+func (s *Server) logger() *obs.Logger { return s.logp.Load() }
 
 // connState tracks whether a connection is between batches (idle) or
 // mid-batch (busy): a graceful Shutdown closes idle connections
@@ -219,11 +239,14 @@ func (s *Server) handle(c net.Conn) {
 	if err := bw.Flush(); err != nil {
 		return
 	}
+	s.met.get().frameOut(len(wbuf))
 
 	fail := func(msg string) {
+		s.logger().Warnf("dropping connection from %s: %s", c.RemoteAddr(), msg)
 		wbuf = wire.AppendError(wbuf[:0], msg)
 		if wire.WriteFrame(bw, wbuf) == nil {
 			bw.Flush()
+			s.met.get().frameOut(len(wbuf))
 		}
 	}
 	for {
@@ -231,6 +254,8 @@ func (s *Server) handle(c net.Conn) {
 		if err != nil {
 			return // EOF or broken conn: just drop it
 		}
+		met := s.met.get()
+		met.frameIn(len(p))
 		if !s.beginBatch(c) {
 			return // draining: refuse batches that haven't started executing
 		}
@@ -245,9 +270,11 @@ func (s *Server) handle(c net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+			met.frameOut(len(s.summary))
 		case err == nil && ty == wire.MsgTasks:
 			tasks, seedArena, err = wire.DecodeTasks(p, tasks[:0], seedArena[:0])
 			if err != nil {
+				met.decodeErr()
 				fail(fmt.Sprintf("shard %d: bad task batch: %v", s.sh.ID(), err))
 				return
 			}
@@ -265,7 +292,9 @@ func (s *Server) handle(c net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+			met.frameOut(len(wbuf))
 		default:
+			met.decodeErr()
 			fail(fmt.Sprintf("shard %d: want MsgTasks or MsgSummaryRequest, got %#02x", s.sh.ID(), ty))
 			return
 		}
@@ -300,6 +329,8 @@ type clientConn struct {
 	broken  error
 	wbuf    []byte
 
+	met netInstruments // net_client_* frame counters
+
 	done chan struct{} // closed when the reader goroutine exits
 }
 
@@ -327,7 +358,7 @@ type summaryReply struct {
 func Dial(ctx context.Context, addrs []string, wantVertices int, wantGraph, wantPart uint64) (*Client, error) {
 	cl := &Client{}
 	for i, addr := range addrs {
-		cc, err := dialShard(ctx, i, addr, len(addrs), wantVertices, wantGraph, wantPart)
+		cc, err := dialShard(ctx, i, addr, len(addrs), wantVertices, wantGraph, wantPart, nil)
 		if err != nil {
 			cl.Close()
 			return nil, err
@@ -337,7 +368,17 @@ func Dial(ctx context.Context, addrs []string, wantVertices int, wantGraph, want
 	return cl, nil
 }
 
-func dialShard(ctx context.Context, i int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64) (*clientConn, error) {
+// Instrument wires the client's frame and byte counters (net_client_*)
+// into reg. Safe to call while connections are live — reader goroutines
+// pick the instruments up atomically. Nil reg is a no-op.
+func (cl *Client) Instrument(reg *obs.Registry) {
+	met := newNetMetrics(reg, "net_client")
+	for _, cc := range cl.conns {
+		cc.met.set(met)
+	}
+}
+
+func dialShard(ctx context.Context, i int, addr string, numShards, wantVertices int, wantGraph, wantPart uint64, met *netMetrics) (*clientConn, error) {
 	d := net.Dialer{Timeout: handshakeTimeout}
 	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -380,6 +421,8 @@ func dialShard(ctx context.Context, i int, addr string, numShards, wantVertices 
 	}
 	c.SetReadDeadline(time.Time{})
 	cc := &clientConn{shard: i, addr: addr, c: c, bw: bufio.NewWriter(c), hello: h, done: make(chan struct{})}
+	cc.met.set(met)
+	cc.met.get().frameIn(len(p)) // the hello frame consumed above
 	go cc.readLoop()
 	return cc, nil
 }
@@ -448,6 +491,7 @@ func (cc *clientConn) Submit(tasks []wire.Task, replyc chan<- Reply) {
 		replyc <- Reply{Shard: cc.shard, Err: err}
 		return
 	}
+	cc.met.get().frameOut(len(cc.wbuf))
 	cc.mu.Unlock()
 }
 
@@ -479,6 +523,7 @@ func (cc *clientConn) Summary(ctx context.Context) (wire.Summary, error) {
 		cc.c.Close()
 		return wire.Summary{}, err
 	}
+	cc.met.get().frameOut(len(cc.wbuf))
 	cc.mu.Unlock()
 	select {
 	case sr := <-sumc:
@@ -543,6 +588,7 @@ func (cc *clientConn) readLoop() {
 			cc.fail(fmt.Errorf("shard %d (%s): read: %w", cc.shard, cc.addr, err))
 			return
 		}
+		cc.met.get().frameIn(len(p))
 		rbuf = p
 		ty, err := wire.MsgType(p)
 		if err == nil && ty == wire.MsgError {
@@ -574,6 +620,7 @@ func (cc *clientConn) readLoop() {
 		case head.sumc != nil:
 			sum, err := wire.DecodeSummary(p)
 			if err != nil {
+				cc.met.get().decodeErr()
 				cc.fail(fmt.Errorf("shard %d (%s): bad summary: %w", cc.shard, cc.addr, err))
 				return
 			}
@@ -583,6 +630,7 @@ func (cc *clientConn) readLoop() {
 		default:
 			results, arena, err = wire.DecodeResults(p, results[:0], arena[:0])
 			if err != nil {
+				cc.met.get().decodeErr()
 				cc.fail(fmt.Errorf("shard %d (%s): bad response: %w", cc.shard, cc.addr, err))
 				return
 			}
