@@ -49,11 +49,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dsr/internal/core"
 	"dsr/internal/graph"
 	"dsr/internal/obs"
+	"dsr/internal/obs/fleet"
 	"dsr/internal/partition/locality"
 )
 
@@ -78,14 +80,38 @@ func main() {
 	}
 	logger := obs.StderrLogger(level).With("component", "dsr-query")
 	reg := obs.NewRegistry()
+	// The ops endpoint must be up before the engine exists (connecting
+	// can take a while and operators want liveness meanwhile), so the
+	// fleet aggregator reads the engine through an atomic pointer that
+	// is filled in once connected. Until then /fleet serves just the
+	// coordinator's own registry.
+	var engPtr atomic.Pointer[core.Engine]
+	agg := fleet.New(reg, func() []fleet.Target {
+		e := engPtr.Load()
+		if e == nil {
+			return nil
+		}
+		eps := e.Endpoints()
+		targets := make([]fleet.Target, len(eps))
+		for i, ep := range eps {
+			targets[i] = fleet.Target{
+				Partition:   ep.Partition,
+				Replica:     ep.Replica,
+				Addr:        ep.Addr,
+				MetricsAddr: ep.MetricsAddr,
+				Live:        ep.Live,
+			}
+		}
+		return targets
+	}, 0)
 	var ops *obs.OpsServer // closed explicitly: os.Exit below skips defers
 	if *metricsAddr != "" {
-		ops, err = obs.StartOps(*metricsAddr, reg)
+		ops, err = obs.StartOps(*metricsAddr, reg, obs.Mount{Pattern: "/fleet", Handler: agg.Handler()})
 		if err != nil {
 			logger.Errorf("metrics-addr: %v", err)
 			os.Exit(1)
 		}
-		logger.Infof("metrics on http://%s/metrics (pprof under /debug/pprof/)", ops.Addr())
+		logger.Infof("metrics on http://%s/metrics (fleet view at /fleet, pprof under /debug/pprof/)", ops.Addr())
 	}
 
 	var eng *core.Engine
@@ -152,20 +178,27 @@ func main() {
 		logger.Infof("in-process engine: %d %s-partitioned partitions, %d boundary vertices",
 			eng.NumPartitions(), strat.Name(), eng.NumBoundary())
 	}
-	// No defer: os.Exit skips deferred calls, so close explicitly.
-	code := runQueries(eng, os.Stdin, os.Stdout, os.Stderr, *batch)
+	engPtr.Store(eng) // /fleet now sees the shard endpoints
+	// Interactive distributed sessions report what the failover
+	// machinery did on the way out — invisible otherwise, since retried
+	// queries still answer normally. runQueries prints it on every
+	// ending, including error ones, where it matters most.
+	var healthLog func(string, ...any)
 	if *shards != "" && !*batch {
-		// Interactive distributed sessions report what the failover
-		// machinery did on the way out — invisible otherwise, since
-		// retried queries still answer normally.
-		for _, ph := range eng.Health() {
-			logger.Infof("partition %d: %d/%d replicas live, retries=%d failovers=%d redials=%d",
-				ph.Partition, ph.Live, ph.Replicas, ph.Retries, ph.Failovers, ph.Redials)
-		}
+		healthLog = logger.Infof
 	}
+	// No defer: os.Exit skips deferred calls, so close explicitly.
+	code := runQueries(eng, os.Stdin, os.Stdout, os.Stderr, *batch, healthLog)
 	eng.Close()
 	ops.Close()
 	os.Exit(code)
+}
+
+// engine is the slice of core.Engine a query session needs, narrowed
+// so session tests can substitute a fake that fails on demand.
+type engine interface {
+	QueryBatchErr([]core.Query) ([]bool, error)
+	Health() []core.PartitionHealth
 }
 
 // runQueries drives one query session: reads queries from in, writes
@@ -178,7 +211,20 @@ func main() {
 // degrade the same way: queries that needed an unavailable partition
 // print "error" (positions stay aligned with the input), everything
 // else is still answered, and the exit code turns non-zero.
-func runQueries(eng *core.Engine, in io.Reader, out, errw io.Writer, batch bool) int {
+//
+// A non-nil healthLog gets one replica-health summary line per
+// partition when the session ends — on every ending, error ones
+// included: a session that dies on a failed query is exactly the one
+// whose retry/failover history the operator needs to see.
+func runQueries(eng engine, in io.Reader, out, errw io.Writer, batch bool, healthLog func(string, ...any)) int {
+	if healthLog != nil {
+		defer func() {
+			for _, ph := range eng.Health() {
+				healthLog("partition %d: %d/%d replicas live, retries=%d failovers=%d redials=%d",
+					ph.Partition, ph.Live, ph.Replicas, ph.Retries, ph.Failovers, ph.Redials)
+			}
+		}()
+	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	w := bufio.NewWriter(out)

@@ -45,7 +45,7 @@ func TestRunQueriesMalformedLines(t *testing.T) {
 			"7 | 0",        // valid: false
 		}, "\n"))
 		var out, errw strings.Builder
-		code := runQueries(eng, in, &out, &errw, batch)
+		code := runQueries(eng, in, &out, &errw, batch, nil)
 		if code == 0 {
 			t.Errorf("batch=%v: exit code 0 despite malformed lines", batch)
 		}
@@ -66,7 +66,7 @@ func TestRunQueriesCleanInput(t *testing.T) {
 		eng := tinyEngine(t)
 		in := strings.NewReader("# comment\n\n0 | 7\n4 | 4\n")
 		var out, errw strings.Builder
-		if code := runQueries(eng, in, &out, &errw, batch); code != 0 {
+		if code := runQueries(eng, in, &out, &errw, batch, nil); code != 0 {
 			t.Errorf("batch=%v: exit code %d on clean input, stderr: %s", batch, code, errw.String())
 		}
 		if got, want := out.String(), "true\ntrue\n"; got != want {
@@ -147,7 +147,7 @@ func TestRunQueriesPartialOutage(t *testing.T) {
 			fmt.Sprintf("%d | %d", u[0], u[1]), // needs the dead partition's backward search
 		}, "\n"))
 		var out, errw strings.Builder
-		code := runQueries(eng, in, &out, &errw, batch)
+		code := runQueries(eng, in, &out, &errw, batch, nil)
 		if code == 0 {
 			t.Errorf("batch=%v: exit code 0 despite failed queries", batch)
 		}

@@ -80,13 +80,15 @@ func main() {
 		fatalf("-partitioner: %v", err)
 	}
 	reg := obs.NewRegistry()
+	var opsAddr string
 	if *metricsAddr != "" {
 		ops, err := obs.StartOps(*metricsAddr, reg)
 		if err != nil {
 			fatalf("metrics-addr: %v", err)
 		}
 		defer ops.Close()
-		logger.Infof("metrics on http://%s/metrics (pprof under /debug/pprof/)", ops.Addr())
+		opsAddr = ops.Addr()
+		logger.Infof("metrics on http://%s/metrics (pprof under /debug/pprof/)", opsAddr)
 	}
 
 	g, err := graph.LoadEdgeListFile(*graphPath)
@@ -112,6 +114,9 @@ func main() {
 	logger.Infof("serving on %s", ln.Addr())
 	srv := shard.NewServer(sh, *numShards, g.NumVertices(), g.Fingerprint(), pt.Digest())
 	srv.Instrument(reg, logger)
+	// Announce the ops address in the handshake so the coordinator's
+	// /fleet view can scrape this replica without extra configuration.
+	srv.AnnounceMetrics(opsAddr)
 
 	// Graceful drain on SIGTERM/SIGINT: finish in-flight batches, refuse
 	// new connections, then exit 0 (Serve returns nil once draining).

@@ -61,6 +61,11 @@ type MismatchError = dsr.MismatchError
 // retry/failover/redial totals since connect.
 type PartitionHealth = shard.PartitionHealth
 
+// EndpointInfo is one shard replica's identity as Engine.Endpoints
+// reports it: partition, replica slot, RPC address, the ops address it
+// announced at handshake (empty if none), and liveness.
+type EndpointInfo = shard.EndpointInfo
+
 // Engine answers set-reachability queries over a partitioned graph.
 type Engine struct {
 	inner *dsr.Engine
@@ -124,6 +129,11 @@ func (e *Engine) NumBoundary() int { return e.inner.NumBoundary() }
 // — the stitched boundary graph. It scales with the boundary, never
 // with partition interiors.
 func (e *Engine) ResidentBytes() int { return e.inner.ResidentBytes() }
+
+// Endpoints lists the shard replicas behind the engine — RPC address,
+// announced ops address, liveness — for fleet-wide metrics scraping.
+// Nil for in-process engines, whose shards have no addresses.
+func (e *Engine) Endpoints() []EndpointInfo { return e.inner.Endpoints() }
 
 // Health reports per-partition replica health for replicated
 // deployments (live counts, retries, failovers, redials since connect);

@@ -352,6 +352,13 @@ type Engine struct {
 	trace obs.Trace
 	slow  time.Duration // slow-query log threshold, 0 disables
 	log   *obs.Logger
+
+	// wantTiming arms the wire-level trace flag: every task batch then
+	// asks its shard to self-measure and footer its reply, feeding the
+	// net-vs-server split (metrics and slow-query sub-spans). On when
+	// either consumer exists — a registry or a slow-query threshold.
+	wantTiming bool
+	batchID    uint64 // round counter; the wire batch ID (starts at 1)
 }
 
 // Options configures Build.
@@ -618,6 +625,8 @@ func newEngine(n, k int, bg *boundaryGraph, tr shard.Transport, tel telemetry) *
 		met:    newEngineMetrics(tel.reg, k),
 		slow:   tel.slow,
 		log:    tel.log,
+
+		wantTiming: tel.reg != nil || tel.slow > 0,
 	}
 	e.met.partitions.Set(int64(k))
 	e.met.boundaryVerts.Set(int64(len(bg.verts)))
@@ -633,6 +642,18 @@ func newEngine(n, k int, bg *boundaryGraph, tr shard.Transport, tel telemetry) *
 func (e *Engine) Health() []shard.PartitionHealth {
 	if r, ok := e.tr.(*shard.Replicated); ok {
 		return r.Health()
+	}
+	return nil
+}
+
+// Endpoints describes the engine's shard endpoints — one entry per
+// (partition, replica) with the dialed address, the metrics address
+// each shard announced at handshake, and liveness. Nil for transports
+// that have no endpoints to describe (in-process engines); the fleet
+// metrics aggregator feeds on this.
+func (e *Engine) Endpoints() []shard.EndpointInfo {
+	if t, ok := e.tr.(interface{ Endpoints() []shard.EndpointInfo }); ok {
+		return t.Endpoints()
 	}
 	return nil
 }
@@ -859,12 +880,14 @@ func (e *Engine) runBatch(queries []Query) error {
 	var roundStart time.Duration
 	round := -1
 	if len(e.tasks) > 0 {
+		e.batchID++
+		hdr := wire.BatchHeader{Trace: e.wantTiming, Batch: e.batchID}
 		tsub = time.Now()
 		roundStart = e.trace.Since()
 		round = e.trace.Add("round", 1, roundStart, 0, -1, len(e.tasks))
 		for p := 0; p < e.k; p++ {
 			e.met.rpcs[p].Inc()
-			e.tr.Submit(p, e.tasks, e.replyc)
+			e.tr.Submit(p, hdr, e.tasks, e.replyc)
 		}
 		nsub = e.k
 	}
@@ -897,6 +920,27 @@ func (e *Engine) runBatch(queries []Query) error {
 		}
 		e.met.frontier.Observe(int64(frontier))
 		e.trace.Add("rpc", 2, roundStart, rpcDur, rep.Shard, frontier)
+		if rep.HasTiming {
+			// Split the observed round trip into shard compute and
+			// everything else (wire time, queueing in the transport, the
+			// fan-in wait itself). The server's self-measured total is
+			// clamped to the enclosing RPC duration: the two clocks are
+			// different machines', and a server span exceeding its RPC
+			// span would make the trace unreadable nonsense.
+			server := time.Duration(rep.Timing.Total())
+			if server > rpcDur {
+				server = rpcDur
+			}
+			net := rpcDur - server
+			e.met.rpcServer[rep.Shard].Observe(int64(server))
+			e.met.rpcNet[rep.Shard].Observe(int64(net))
+			e.trace.Add("server", 3, roundStart, server, rep.Shard, 0)
+			e.trace.Add("net", 3, roundStart, net, rep.Shard, 0)
+		}
+		if rep.Batch != 0 && rep.Batch != e.batchID {
+			terr = fmt.Errorf("dsr: shard %d echoed batch %d during batch %d", rep.Shard, rep.Batch, e.batchID)
+			continue
+		}
 		if len(rep.Results) != len(e.tasks) {
 			terr = fmt.Errorf("dsr: shard %d answered %d results for a %d-task batch", rep.Shard, len(rep.Results), len(e.tasks))
 			continue

@@ -25,9 +25,11 @@ type engineMetrics struct {
 	frontier  *obs.Histogram // dsr_frontier_size
 	sumFetch  *obs.Histogram // dsr_summary_fetch_ns
 
-	rpcs    []*obs.Counter   // dsr_rpc_total{partition=p}
-	rpcErrs []*obs.Counter   // dsr_rpc_failures_total{partition=p}
-	rpcLat  []*obs.Histogram // dsr_rpc_latency_ns{partition=p}
+	rpcs      []*obs.Counter   // dsr_rpc_total{partition=p}
+	rpcErrs   []*obs.Counter   // dsr_rpc_failures_total{partition=p}
+	rpcLat    []*obs.Histogram // dsr_rpc_latency_ns{partition=p}
+	rpcServer []*obs.Histogram // dsr_rpc_server_ns{partition=p}
+	rpcNet    []*obs.Histogram // dsr_rpc_net_ns{partition=p}
 
 	boundaryVerts *obs.Gauge // dsr_boundary_vertices
 	residentBytes *obs.Gauge // dsr_resident_bytes
@@ -52,6 +54,8 @@ func newEngineMetrics(reg *obs.Registry, k int) engineMetrics {
 		rpcs:          make([]*obs.Counter, k),
 		rpcErrs:       make([]*obs.Counter, k),
 		rpcLat:        make([]*obs.Histogram, k),
+		rpcServer:     make([]*obs.Histogram, k),
+		rpcNet:        make([]*obs.Histogram, k),
 		boundaryVerts: reg.Gauge("dsr_boundary_vertices"),
 		residentBytes: reg.Gauge("dsr_resident_bytes"),
 		partitions:    reg.Gauge("dsr_partitions"),
@@ -60,6 +64,8 @@ func newEngineMetrics(reg *obs.Registry, k int) engineMetrics {
 		m.rpcs[p] = reg.Counter(obs.Name("dsr_rpc_total", "partition", p))
 		m.rpcErrs[p] = reg.Counter(obs.Name("dsr_rpc_failures_total", "partition", p))
 		m.rpcLat[p] = reg.Histogram(obs.Name("dsr_rpc_latency_ns", "partition", p))
+		m.rpcServer[p] = reg.Histogram(obs.Name("dsr_rpc_server_ns", "partition", p))
+		m.rpcNet[p] = reg.Histogram(obs.Name("dsr_rpc_net_ns", "partition", p))
 	}
 	return m
 }

@@ -96,7 +96,15 @@ func TestSlowQueryLog(t *testing.T) {
 	e.Query([]graph.VertexID{0, 1, 2}, []graph.VertexID{100, 101, 102})
 
 	out := buf.String()
-	for _, want := range []string{"WARN", "slow batch:", "query_batch", "assemble", "round", "rpc part=0", "rpc part=1", "finish"} {
+	for _, want := range []string{
+		"WARN", "slow batch:", "query_batch", "assemble", "round",
+		"rpc part=0", "rpc part=1",
+		// Shard-reported compute vs everything else, per partition —
+		// present even on the loopback transport, which synthesizes the
+		// timing footer from its local search time.
+		"server part=0", "server part=1", "net part=0", "net part=1",
+		"finish",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("slow-query log missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// BuildInfo identifies the running binary inside every /metrics
+// snapshot: Go toolchain, module path/version, the VCS revision it was
+// built from (with Modified marking a dirty working tree), and the
+// process start time. A fleet scrape that merges many shard registries
+// can then detect version skew — two replicas of one partition built
+// from different revisions — without a separate inventory system.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	Start     string `json:"start"`
+}
+
+// processStart is captured once at init so every snapshot reports the
+// same start time regardless of when it is taken.
+var processStart = time.Now()
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the process's build info, resolved once from
+// runtime/debug.ReadBuildInfo. Binaries built without module info
+// (e.g. plain `go test` harnesses) still report the Go version and
+// start time.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{
+			GoVersion: runtime.Version(),
+			Start:     processStart.UTC().Format(time.RFC3339),
+		}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Path = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

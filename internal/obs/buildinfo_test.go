@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", b.GoVersion, runtime.Version())
+	}
+	start, err := time.Parse(time.RFC3339, b.Start)
+	if err != nil {
+		t.Fatalf("Start %q is not RFC3339: %v", b.Start, err)
+	}
+	if start.After(time.Now()) {
+		t.Errorf("Start %v is in the future", start)
+	}
+	if again := Build(); again != b {
+		t.Errorf("Build() not stable: %+v then %+v", b, again)
+	}
+}
+
+// TestSnapshotCarriesBuild asserts every registry snapshot — including
+// the nil-registry empty one — embeds the build section, so a fleet
+// scrape can always check for version skew.
+func TestSnapshotCarriesBuild(t *testing.T) {
+	for _, reg := range []*Registry{nil, NewRegistry()} {
+		snap := reg.Snapshot()
+		if snap.Build != Build() {
+			t.Errorf("snapshot build = %+v, want %+v", snap.Build, Build())
+		}
+	}
+	var sb strings.Builder
+	if err := NewRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var b BuildInfo
+	if err := json.Unmarshal(doc["build"], &b); err != nil {
+		t.Fatalf("no decodable build section in /metrics JSON: %v", err)
+	}
+	if b.GoVersion == "" || b.Start == "" {
+		t.Errorf("build section missing required fields: %+v", b)
+	}
+}

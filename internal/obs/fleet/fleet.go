@@ -1,0 +1,163 @@
+// Package fleet merges the metrics registries of a whole DSR
+// deployment into one document. The coordinator knows every shard
+// replica's ops address (announced in the wire handshake), so instead
+// of operators scraping k×R endpoints and joining them by hand, the
+// coordinator scrapes them on demand and serves the merged snapshot —
+// its own registry plus one entry per replica — at /fleet.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dsr/internal/obs"
+)
+
+// Target is one scrapeable shard replica. Addr is the shard's RPC
+// address (identity only), MetricsAddr the ops endpoint to scrape;
+// an empty MetricsAddr means the shard did not announce one. Live
+// reflects the coordinator's current view of the replica's RPC
+// connection — a dead replica is still listed so its loss is visible
+// in the fleet view rather than silently absent.
+type Target struct {
+	Partition   int
+	Replica     int
+	Addr        string
+	MetricsAddr string
+	Live        bool
+}
+
+// Source yields the current scrape targets. It is called once per
+// snapshot, so the target set follows failovers and reconnects
+// without the aggregator holding any state of its own.
+type Source func() []Target
+
+// ShardStatus is one replica's slice of the fleet snapshot. Exactly
+// one of Metrics and Error is set: a successful scrape carries the
+// shard's full registry snapshot, a failed one carries the reason.
+type ShardStatus struct {
+	Partition   int           `json:"partition"`
+	Replica     int           `json:"replica"`
+	Addr        string        `json:"addr"`
+	MetricsAddr string        `json:"metrics_addr,omitempty"`
+	Live        bool          `json:"live"`
+	Error       string        `json:"error,omitempty"`
+	Metrics     *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// Snapshot is the merged fleet document served at /fleet: the
+// coordinator's own registry plus every shard replica, sorted by
+// (partition, replica).
+type Snapshot struct {
+	Coordinator obs.Snapshot  `json:"coordinator"`
+	Shards      []ShardStatus `json:"shards"`
+}
+
+// Aggregator scrapes a Source's targets and merges them with a local
+// registry. The zero value is not usable; construct with New.
+type Aggregator struct {
+	local   *obs.Registry
+	src     Source
+	client  *http.Client
+	timeout time.Duration
+}
+
+// maxBody bounds a scraped /metrics document; a misconfigured target
+// pointing at something that streams forever must not wedge /fleet.
+const maxBody = 4 << 20
+
+// New returns an aggregator over the coordinator's own registry
+// (nil-safe, snapshots empty) and the given target source. Each
+// target is scraped with its own timeout so one stuck endpoint
+// delays a fleet snapshot by at most that long.
+func New(local *obs.Registry, src Source, timeout time.Duration) *Aggregator {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Aggregator{
+		local:   local,
+		src:     src,
+		client:  &http.Client{},
+		timeout: timeout,
+	}
+}
+
+// Snapshot scrapes every current target in parallel and returns the
+// merged fleet view. Scrape failures never fail the snapshot; they
+// surface as per-shard Error strings.
+func (a *Aggregator) Snapshot(ctx context.Context) Snapshot {
+	targets := a.src()
+	shards := make([]ShardStatus, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shards[i] = a.scrape(ctx, t)
+		}()
+	}
+	wg.Wait()
+	sort.Slice(shards, func(i, j int) bool {
+		if shards[i].Partition != shards[j].Partition {
+			return shards[i].Partition < shards[j].Partition
+		}
+		return shards[i].Replica < shards[j].Replica
+	})
+	return Snapshot{Coordinator: a.local.Snapshot(), Shards: shards}
+}
+
+func (a *Aggregator) scrape(ctx context.Context, t Target) ShardStatus {
+	st := ShardStatus{
+		Partition:   t.Partition,
+		Replica:     t.Replica,
+		Addr:        t.Addr,
+		MetricsAddr: t.MetricsAddr,
+		Live:        t.Live,
+	}
+	if t.MetricsAddr == "" {
+		st.Error = "no metrics address announced"
+		return st
+	}
+	ctx, cancel := context.WithTimeout(ctx, a.timeout)
+	defer cancel()
+	url := "http://" + t.MetricsAddr + "/metrics"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.Error = fmt.Sprintf("scrape %s: HTTP %d", url, resp.StatusCode)
+		return st
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(&snap); err != nil {
+		st.Error = fmt.Sprintf("scrape %s: %v", url, err)
+		return st
+	}
+	st.Metrics = &snap
+	return st
+}
+
+// Handler serves the merged snapshot as indented JSON — mount it at
+// /fleet on the coordinator's ops endpoint.
+func (a *Aggregator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(a.Snapshot(r.Context()))
+	})
+}

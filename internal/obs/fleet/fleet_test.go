@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dsr/internal/obs"
+)
+
+// opsAddr strips the scheme from an httptest server URL, yielding the
+// host:port form a shard announces in its handshake.
+func opsAddr(s *httptest.Server) string {
+	return strings.TrimPrefix(s.URL, "http://")
+}
+
+func TestSnapshotMergesAndSorts(t *testing.T) {
+	regA := obs.NewRegistry()
+	regA.Counter("shard_queries").Add(7)
+	srvA := httptest.NewServer(obs.Handler(regA))
+	defer srvA.Close()
+
+	regB := obs.NewRegistry()
+	regB.Counter("shard_queries").Add(11)
+	srvB := httptest.NewServer(obs.Handler(regB))
+	defer srvB.Close()
+
+	local := obs.NewRegistry()
+	local.Counter("dsr_queries").Add(3)
+
+	// Source deliberately out of order: sorting is the aggregator's job.
+	src := func() []Target {
+		return []Target{
+			{Partition: 1, Replica: 0, Addr: "b:1", MetricsAddr: opsAddr(srvB), Live: true},
+			{Partition: 0, Replica: 1, Addr: "a1:1", Live: false},
+			{Partition: 0, Replica: 0, Addr: "a:1", MetricsAddr: opsAddr(srvA), Live: true},
+		}
+	}
+	snap := New(local, src, time.Second).Snapshot(context.Background())
+
+	if got := snap.Coordinator.Counters["dsr_queries"]; got != 3 {
+		t.Errorf("coordinator dsr_queries = %d, want 3", got)
+	}
+	if len(snap.Shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(snap.Shards))
+	}
+	order := [][2]int{{0, 0}, {0, 1}, {1, 0}}
+	for i, want := range order {
+		if snap.Shards[i].Partition != want[0] || snap.Shards[i].Replica != want[1] {
+			t.Errorf("shards[%d] = p%d/r%d, want p%d/r%d",
+				i, snap.Shards[i].Partition, snap.Shards[i].Replica, want[0], want[1])
+		}
+	}
+	if m := snap.Shards[0].Metrics; m == nil || m.Counters["shard_queries"] != 7 {
+		t.Errorf("p0/r0 metrics = %+v, want shard_queries=7", snap.Shards[0].Metrics)
+	}
+	if m := snap.Shards[2].Metrics; m == nil || m.Counters["shard_queries"] != 11 {
+		t.Errorf("p1/r0 metrics = %+v, want shard_queries=11", snap.Shards[2].Metrics)
+	}
+	// The dead replica announced no ops address: listed, not scraped.
+	dead := snap.Shards[1]
+	if dead.Live || dead.Metrics != nil || dead.Error == "" {
+		t.Errorf("dead replica status = %+v, want error and no metrics", dead)
+	}
+}
+
+func TestScrapeErrors(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	garbled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer garbled.Close()
+	gone := httptest.NewServer(http.NewServeMux())
+	goneAddr := opsAddr(gone)
+	gone.Close()
+
+	src := func() []Target {
+		return []Target{
+			{Partition: 0, MetricsAddr: opsAddr(bad), Live: true},
+			{Partition: 1, MetricsAddr: opsAddr(garbled), Live: true},
+			{Partition: 2, MetricsAddr: goneAddr, Live: true},
+		}
+	}
+	snap := New(nil, src, time.Second).Snapshot(context.Background())
+	wants := []string{"HTTP 500", "invalid character", "connection refused"}
+	for i, want := range wants {
+		st := snap.Shards[i]
+		if st.Metrics != nil {
+			t.Errorf("shard %d: metrics present despite failure", i)
+		}
+		if !strings.Contains(st.Error, want) {
+			t.Errorf("shard %d error = %q, want substring %q", i, st.Error, want)
+		}
+	}
+}
+
+func TestScrapeTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+
+	src := func() []Target {
+		return []Target{{Partition: 0, MetricsAddr: opsAddr(slow), Live: true}}
+	}
+	start := time.Now()
+	snap := New(nil, src, 50*time.Millisecond).Snapshot(context.Background())
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("snapshot took %v; per-target timeout not applied", elapsed)
+	}
+	if snap.Shards[0].Error == "" {
+		t.Errorf("slow target produced no error: %+v", snap.Shards[0])
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("shard_queries").Add(5)
+	shardSrv := httptest.NewServer(obs.Handler(reg))
+	defer shardSrv.Close()
+
+	src := func() []Target {
+		return []Target{{Partition: 0, Addr: "s:1", MetricsAddr: opsAddr(shardSrv), Live: true}}
+	}
+	agg := New(obs.NewRegistry(), src, time.Second)
+
+	rr := httptest.NewRecorder()
+	agg.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/fleet", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /fleet = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("response is not a fleet snapshot: %v", err)
+	}
+	if len(snap.Shards) != 1 || snap.Shards[0].Metrics == nil {
+		t.Fatalf("snapshot shards = %+v", snap.Shards)
+	}
+	if got := snap.Shards[0].Metrics.Counters["shard_queries"]; got != 5 {
+		t.Errorf("scraped shard_queries = %d, want 5", got)
+	}
+	if snap.Coordinator.Build.GoVersion == "" {
+		t.Errorf("coordinator snapshot missing build info")
+	}
+}

@@ -7,16 +7,28 @@ import (
 	"time"
 )
 
+// Mount adds one extra route to an ops endpoint — the coordinator uses
+// it to serve its fleet-aggregation view at /fleet next to its own
+// /metrics.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns the ops endpoint for a registry:
 //
 //	GET /metrics       — the registry snapshot as JSON
 //	GET /healthz       — 200 "ok" liveness probe
 //	GET /debug/pprof/* — net/http/pprof profiles
 //
-// The pprof handlers are mounted explicitly on a private mux, so
-// serving ops never depends on (or pollutes) http.DefaultServeMux.
-func Handler(reg *Registry) http.Handler {
+// plus whatever extra mounts the caller supplies. The pprof handlers
+// are mounted explicitly on a private mux, so serving ops never depends
+// on (or pollutes) http.DefaultServeMux.
+func Handler(reg *Registry, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
@@ -38,11 +50,11 @@ type OpsServer struct {
 	srv *http.Server
 }
 
-// StartOps listens on addr and serves the ops endpoint for reg in a
-// background goroutine. It returns once the listener is bound, so
-// Addr() is immediately valid (addr may use port 0). The server's
-// lifetime is bounded by Close.
-func StartOps(addr string, reg *Registry) (*OpsServer, error) {
+// StartOps listens on addr and serves the ops endpoint for reg (plus
+// any extra mounts) in a background goroutine. It returns once the
+// listener is bound, so Addr() is immediately valid (addr may use port
+// 0). The server's lifetime is bounded by Close.
+func StartOps(addr string, reg *Registry, mounts ...Mount) (*OpsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -50,7 +62,7 @@ func StartOps(addr string, reg *Registry) (*OpsServer, error) {
 	o := &OpsServer{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           Handler(reg),
+			Handler:           Handler(reg, mounts...),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}

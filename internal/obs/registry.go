@@ -84,6 +84,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 // the ops endpoint serves at /metrics. Map keys are metric names in
 // the Name() label form; encoding/json emits them sorted.
 type Snapshot struct {
+	Build      BuildInfo                    `json:"build"`
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
@@ -95,6 +96,7 @@ type Snapshot struct {
 // metrics contract. An empty snapshot (not nil maps) on a nil registry.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
+		Build:      Build(),
 		Counters:   make(map[string]uint64),
 		Gauges:     make(map[string]int64),
 		Histograms: make(map[string]HistogramSnapshot),

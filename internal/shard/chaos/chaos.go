@@ -227,7 +227,7 @@ type chaosReplica struct {
 	inner         shard.Replica
 }
 
-func (cr *chaosReplica) Submit(tasks []wire.Task, replyc chan<- shard.Reply) {
+func (cr *chaosReplica) Submit(h wire.BatchHeader, tasks []wire.Task, replyc chan<- shard.Reply) {
 	delay, err := cr.f.decide(cr.part, cr.replica)
 	if delay > 0 {
 		time.Sleep(delay)
@@ -236,7 +236,7 @@ func (cr *chaosReplica) Submit(tasks []wire.Task, replyc chan<- shard.Reply) {
 		replyc <- shard.Reply{Shard: cr.part, Err: err}
 		return
 	}
-	cr.inner.Submit(tasks, replyc)
+	cr.inner.Submit(h, tasks, replyc)
 }
 
 // Summary fails only while the replica is killed; it deliberately does

@@ -53,7 +53,7 @@ func TestReplicatedPinSweepsMismatches(t *testing.T) {
 	probe := func(t *testing.T, r *Replicated) error {
 		t.Helper()
 		replyc := make(chan Reply, 1)
-		r.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+		r.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
 		return (<-replyc).Err
 	}
 	cases := []struct {
@@ -118,7 +118,7 @@ func TestReplicatedPinExemptsLocalReplicas(t *testing.T) {
 	defer r.Close()
 	r.Pin(Expect{NumVertices: 999, Graph: 1, Part: 1})
 	replyc := make(chan Reply, 1)
-	r.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+	r.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
 	if rep := <-replyc; rep.Err != nil {
 		t.Fatalf("local replica killed by pin it is exempt from: %v", rep.Err)
 	}

@@ -20,7 +20,7 @@ import (
 // replica's resources; a closed replica answers every further Submit
 // with an error Reply.
 type Replica interface {
-	Submit(tasks []wire.Task, replyc chan<- Reply)
+	Submit(h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply)
 	// Summary fetches the replica's boundary summary. Same arena
 	// contract as Results: the slices stay valid until the next Submit
 	// or Summary on this replica.
@@ -80,14 +80,14 @@ func NewLocalReplica(sh *Shard) Replica {
 	return &localReplica{sh: sh}
 }
 
-func (lr *localReplica) Submit(tasks []wire.Task, replyc chan<- Reply) {
+func (lr *localReplica) Submit(h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply) {
 	lr.mu.Lock()
 	defer lr.mu.Unlock()
 	if lr.closed {
 		replyc <- Reply{Shard: lr.sh.ID(), Err: ErrClosed}
 		return
 	}
-	replyc <- Reply{Shard: lr.sh.ID(), Results: lr.sh.Run(tasks)}
+	replyc <- serveLocal(lr.sh, h, tasks)
 }
 
 func (lr *localReplica) Summary(ctx context.Context) (wire.Summary, error) {

@@ -115,6 +115,14 @@ type replicaSet struct {
 	closed  bool
 	expect  *Expect // pinned fleet identity, nil until Pin
 
+	// Endpoint identity as last observed at a successful dial: addrs[i]
+	// is replica i's dialed address and hellos[i] the hello it presented
+	// — kept even while the replica is dead, so Endpoints() can still
+	// name what used to serve the slot. Empty for replicas that don't
+	// expose an endpoint (in-process ones). Guarded by mu.
+	addrs  []string
+	hellos []wire.Hello
+
 	dialMu sync.Mutex // serializes redials so loop and Submit don't race a dial
 
 	// Failover telemetry. The counters are never nil (counterOr) so
@@ -157,6 +165,8 @@ func NewReplicated(ctx context.Context, groups [][]ReplicaDialer, opts Replicate
 			redials:   counterOr(opts.Metrics, obs.Name("shard_redials_total", "partition", p)),
 			liveG:     opts.Metrics.Gauge(obs.Name("shard_replicas_live", "partition", p)),
 			lat:       make([]*obs.Histogram, len(dialers)),
+			addrs:     make([]string, len(dialers)),
+			hellos:    make([]wire.Hello, len(dialers)),
 		}
 		for i := range dialers {
 			rs.lat[i] = opts.Metrics.Histogram(obs.Name("shard_rpc_latency_ns", "partition", p, "replica", i))
@@ -169,6 +179,7 @@ func NewReplicated(ctx context.Context, groups [][]ReplicaDialer, opts Replicate
 				continue
 			}
 			rs.live[i] = rep
+			rs.recordEndpointLocked(i, rep)
 			nlive++
 		}
 		rs.liveG.Set(int64(nlive))
@@ -301,7 +312,7 @@ func (r *Replicated) NumLive(p int) int {
 // replica answered, or an all-replicas-failed error) is delivered on
 // replyc. Each Submit runs in its own goroutine so the coordinator's
 // fan-out never blocks on a slow or dying replica.
-func (r *Replicated) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
+func (r *Replicated) Submit(p int, h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -312,8 +323,30 @@ func (r *Replicated) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
 	r.mu.Unlock()
 	go func() {
 		defer r.subWG.Done()
-		replyc <- r.sets[p].run(r.ctx, tasks)
+		replyc <- r.sets[p].run(r.ctx, h, tasks)
 	}()
+}
+
+// Endpoints describes every (partition, replica) endpoint: the address
+// each replica was dialed at, the metrics address it announced in its
+// hello, and whether it is currently live. Dead replicas keep the
+// identity they last presented, so a fleet view can still name them.
+func (r *Replicated) Endpoints() []EndpointInfo {
+	var eps []EndpointInfo
+	for _, rs := range r.sets {
+		rs.mu.Lock()
+		for i := range rs.dialers {
+			eps = append(eps, EndpointInfo{
+				Partition:   rs.part,
+				Replica:     i,
+				Addr:        rs.addrs[i],
+				MetricsAddr: rs.hellos[i].MetricsAddr,
+				Live:        rs.live[i] != nil,
+			})
+		}
+		rs.mu.Unlock()
+	}
+	return eps
 }
 
 // Summary fetches partition p's boundary summary with the same failover
@@ -384,7 +417,7 @@ func (r *Replicated) reconnectLoop(every time.Duration) {
 // is retried on the next candidate, which is correct because local
 // searches are idempotent reads. Only when every replica has failed
 // does the caller get an error Reply, carrying each replica's failure.
-func (rs *replicaSet) run(ctx context.Context, tasks []wire.Task) Reply {
+func (rs *replicaSet) run(ctx context.Context, h wire.BatchHeader, tasks []wire.Task) Reply {
 	tried := make([]bool, len(rs.dialers))
 	inner := make(chan Reply, 1)
 	attempts := 0
@@ -402,7 +435,7 @@ func (rs *replicaSet) run(ctx context.Context, tasks []wire.Task) Reply {
 		attempts++
 		tried[idx] = true
 		t0 := time.Now()
-		rep.Submit(tasks, inner)
+		rep.Submit(h, tasks, inner)
 		reply := <-inner
 		rs.lat[idx].ObserveSince(t0)
 		if reply.Err == nil {
@@ -556,9 +589,20 @@ func (rs *replicaSet) install(idx int, rep Replica) (installed, closed bool) {
 	}
 	rs.live[idx] = rep
 	rs.lastErr[idx] = nil
+	rs.recordEndpointLocked(idx, rep)
 	rs.updateLiveLocked()
 	rs.mu.Unlock()
 	return true, false
+}
+
+// recordEndpointLocked caches a freshly dialed replica's endpoint
+// identity for Endpoints(). Caller holds rs.mu (or owns the set
+// exclusively during construction). Replicas without a network
+// endpoint leave the slot as-is.
+func (rs *replicaSet) recordEndpointLocked(idx int, rep Replica) {
+	if ep, ok := rep.(interface{ Endpoint() (string, wire.Hello) }); ok {
+		rs.addrs[idx], rs.hellos[idx] = ep.Endpoint()
+	}
 }
 
 // updateLiveLocked refreshes the live-replica gauge. Caller holds rs.mu.

@@ -41,7 +41,7 @@ type flakyReplica struct {
 	inner Replica
 }
 
-func (f *flakyReplica) Submit(tasks []wire.Task, replyc chan<- Reply) {
+func (f *flakyReplica) Submit(h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply) {
 	f.ctl.submits.Add(1)
 	for {
 		n := f.ctl.failNext.Load()
@@ -53,7 +53,7 @@ func (f *flakyReplica) Submit(tasks []wire.Task, replyc chan<- Reply) {
 			return
 		}
 	}
-	f.inner.Submit(tasks, replyc)
+	f.inner.Submit(h, tasks, replyc)
 }
 
 func (f *flakyReplica) Summary(ctx context.Context) (wire.Summary, error) {
@@ -92,7 +92,7 @@ func localGroups(t testing.TB, R int) ([][]ReplicaDialer, [][]*flakyControl) {
 func submitOne(t *testing.T, tr Transport, p int, seed int32) Reply {
 	t.Helper()
 	replyc := make(chan Reply, 1)
-	tr.Submit(p, []wire.Task{{Kind: wire.Forward, Query: 1, Seeds: []int32{seed}}}, replyc)
+	tr.Submit(p, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 1, Seeds: []int32{seed}}}, replyc)
 	select {
 	case rep := <-replyc:
 		return rep
@@ -462,7 +462,7 @@ func TestServerShutdownDrains(t *testing.T) {
 				return
 			}
 			<-start
-			req := wire.AppendTasks(nil, []wire.Task{{Kind: wire.Forward, Seeds: []int32{0}}})
+			req := wire.AppendTasks(nil, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Seeds: []int32{0}}})
 			if err := wire.WriteFrame(c, req); err != nil {
 				results <- nil
 				return
@@ -472,7 +472,7 @@ func TestServerShutdownDrains(t *testing.T) {
 				results <- nil // dropped before the batch began executing: fine
 				return
 			}
-			res, _, err := wire.DecodeResults(p, nil, nil)
+			_, res, _, err := wire.DecodeResults(p, nil, nil)
 			if err != nil {
 				results <- fmt.Errorf("corrupt response during drain: %v", err)
 				return

@@ -180,8 +180,8 @@ func TestLoopbackTransport(t *testing.T) {
 		t.Fatalf("NumShards = %d, want 3", lb.NumShards())
 	}
 	replyc := make(chan Reply, 3)
-	lb.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
-	lb.Submit(2, []wire.Task{{Kind: wire.Backward, Query: 0, Seeds: []int32{5}}}, replyc)
+	lb.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+	lb.Submit(2, wire.BatchHeader{}, []wire.Task{{Kind: wire.Backward, Query: 0, Seeds: []int32{5}}}, replyc)
 	seen := map[int][]uint32{}
 	for i := 0; i < 2; i++ {
 		rep := <-replyc

@@ -47,7 +47,41 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	met  netInstruments             // net_server_* frame counters
+	tim  atomic.Pointer[srvTimings] // shard_server_* phase histograms
 	logp atomic.Pointer[obs.Logger] // protocol-failure logging
+}
+
+// srvTimings holds the server's per-batch phase histograms: the same
+// four numbers the timing footer ships to the coordinator, kept locally
+// so a shard's own /metrics shows where its batches spend time even
+// when no coordinator asks for footers.
+type srvTimings struct {
+	decode *obs.Histogram
+	queue  *obs.Histogram
+	search *obs.Histogram
+	encode *obs.Histogram
+}
+
+func newSrvTimings(reg *obs.Registry) *srvTimings {
+	if reg == nil {
+		return nil
+	}
+	return &srvTimings{
+		decode: reg.Histogram("shard_server_decode_ns"),
+		queue:  reg.Histogram("shard_server_queue_ns"),
+		search: reg.Histogram("shard_server_search_ns"),
+		encode: reg.Histogram("shard_server_encode_ns"),
+	}
+}
+
+func (st *srvTimings) observe(t wire.ServerTiming) {
+	if st == nil {
+		return
+	}
+	st.decode.Observe(int64(t.Decode))
+	st.queue.Observe(int64(t.Queue))
+	st.search.Observe(int64(t.Search))
+	st.encode.Observe(int64(t.Encode))
 }
 
 // Instrument wires telemetry into the server: frame and byte counters
@@ -57,9 +91,24 @@ type Server struct {
 // leaves its slot untouched.
 func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger) {
 	s.met.set(newNetMetrics(reg, "net_server"))
+	if t := newSrvTimings(reg); t != nil {
+		s.tim.Store(t)
+	}
 	if log != nil {
 		s.logp.Store(log)
 	}
+}
+
+// AnnounceMetrics records the shard's ops-endpoint address in the hello
+// frame, so a connecting coordinator learns where to scrape this shard's
+// /metrics registry without separate service discovery. Call before
+// Serve; addresses longer than the wire cap are truncated to nothing
+// (an unannounceable address is worse than none).
+func (s *Server) AnnounceMetrics(addr string) {
+	if len(addr) > 256 {
+		return
+	}
+	s.hello.MetricsAddr = addr
 }
 
 // logger returns the instrumented logger (nil, a no-op, by default).
@@ -272,20 +321,39 @@ func (s *Server) handle(c net.Conn) {
 			}
 			met.frameOut(len(s.summary))
 		case err == nil && ty == wire.MsgTasks:
-			tasks, seedArena, err = wire.DecodeTasks(p, tasks[:0], seedArena[:0])
+			// Each phase is timed: the breakdown feeds the shard's own
+			// shard_server_* histograms on every batch, and rides back to
+			// the coordinator as a footer when the batch asked for it.
+			t0 := time.Now()
+			var hdr wire.BatchHeader
+			hdr, tasks, seedArena, err = wire.DecodeTasks(p, tasks[:0], seedArena[:0])
 			if err != nil {
 				met.decodeErr()
 				fail(fmt.Sprintf("shard %d: bad task batch: %v", s.sh.ID(), err))
 				return
 			}
+			t1 := time.Now()
 			// Run and encode under one lock: the results alias shard-owned
 			// buffers that the next Run (possibly from another connection)
 			// rewrites. Seeds are global IDs; the shard skips unowned ones
 			// and reports coverage via Owned, so no validity pre-check.
 			s.runMu.Lock()
+			t2 := time.Now()
 			results := s.sh.Run(tasks)
-			wbuf = wire.AppendResults(wbuf[:0], results)
+			t3 := time.Now()
+			wbuf = wire.AppendResults(wbuf[:0], hdr.Batch, hdr.Trace, results)
+			t4 := time.Now()
 			s.runMu.Unlock()
+			timing := wire.ServerTiming{
+				Decode: uint64(t1.Sub(t0)),
+				Queue:  uint64(t2.Sub(t1)),
+				Search: uint64(t3.Sub(t2)),
+				Encode: uint64(t4.Sub(t3)),
+			}
+			s.tim.Load().observe(timing)
+			if hdr.Trace {
+				wbuf = wire.AppendServerTiming(wbuf, timing)
+			}
 			if err := wire.WriteFrame(bw, wbuf); err != nil {
 				return
 			}
@@ -433,8 +501,28 @@ func (cl *Client) NumShards() int { return len(cl.conns) }
 // Submit encodes and writes the batch to shard p's connection. The
 // Reply arrives on replyc when the response frame is read (or an error
 // Reply immediately if the connection is broken).
-func (cl *Client) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
-	cl.conns[p].Submit(tasks, replyc)
+func (cl *Client) Submit(p int, h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply) {
+	cl.conns[p].Submit(h, tasks, replyc)
+}
+
+// Endpoints describes every connection: one entry per partition (the
+// plain Client has exactly one replica per partition), carrying the
+// dialed address, the metrics address the server announced in its
+// hello, and whether the connection is still live.
+func (cl *Client) Endpoints() []EndpointInfo {
+	eps := make([]EndpointInfo, len(cl.conns))
+	for i, cc := range cl.conns {
+		cc.mu.Lock()
+		live := cc.broken == nil
+		cc.mu.Unlock()
+		eps[i] = EndpointInfo{
+			Partition:   i,
+			Addr:        cc.addr,
+			MetricsAddr: cc.hello.MetricsAddr,
+			Live:        live,
+		}
+	}
+	return eps
 }
 
 // Summary fetches shard p's boundary summary over its connection,
@@ -466,7 +554,7 @@ func (cl *Client) Close() error {
 // Submit encodes and writes the batch to the connection (Replica
 // interface). The Reply arrives on replyc when the response frame is
 // read, or immediately with an error if the connection is broken.
-func (cc *clientConn) Submit(tasks []wire.Task, replyc chan<- Reply) {
+func (cc *clientConn) Submit(h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply) {
 	cc.mu.Lock()
 	if cc.broken != nil {
 		err := cc.broken
@@ -477,7 +565,7 @@ func (cc *clientConn) Submit(tasks []wire.Task, replyc chan<- Reply) {
 	// Register before writing: the reader pops pending FIFO as response
 	// frames arrive, and a response can only follow a completed write.
 	cc.pending = append(cc.pending, pendingReq{replyc: replyc})
-	cc.wbuf = wire.AppendTasks(cc.wbuf[:0], tasks)
+	cc.wbuf = wire.AppendTasks(cc.wbuf[:0], h, tasks)
 	err := wire.WriteFrame(cc.bw, cc.wbuf)
 	if err == nil {
 		err = cc.bw.Flush()
@@ -544,6 +632,10 @@ func (cc *clientConn) Summary(ctx context.Context) (wire.Summary, error) {
 // Hello reports the identity the server presented at dial time (Replica
 // interface).
 func (cc *clientConn) Hello() wire.Hello { return cc.hello }
+
+// Endpoint reports the dialed address and dial-time hello; Replicated
+// detects it to cache endpoint identity for its Endpoints() view.
+func (cc *clientConn) Endpoint() (string, wire.Hello) { return cc.addr, cc.hello }
 
 // Close closes the connection and waits for its reader goroutine to
 // exit; pending Submits receive error replies (Replica interface).
@@ -628,14 +720,21 @@ func (cc *clientConn) readLoop() {
 				head.sumc <- summaryReply{sum: sum}
 			}
 		default:
-			results, arena, err = wire.DecodeResults(p, results[:0], arena[:0])
+			var info wire.ResultsInfo
+			info, results, arena, err = wire.DecodeResults(p, results[:0], arena[:0])
 			if err != nil {
 				cc.met.get().decodeErr()
 				cc.fail(fmt.Errorf("shard %d (%s): bad response: %w", cc.shard, cc.addr, err))
 				return
 			}
 			if cc.pop() {
-				head.replyc <- Reply{Shard: cc.shard, Results: results}
+				head.replyc <- Reply{
+					Shard:     cc.shard,
+					Results:   results,
+					Batch:     info.Batch,
+					HasTiming: info.HasTiming,
+					Timing:    info.Timing,
+				}
 			}
 		}
 	}

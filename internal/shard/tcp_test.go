@@ -66,7 +66,7 @@ func TestTCPTransportMatchesLoopback(t *testing.T) {
 	}
 
 	replyc := make(chan Reply, 3)
-	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 4, Seeds: []int32{0}}}, replyc)
+	cl.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 4, Seeds: []int32{0}}}, replyc)
 	rep := <-replyc
 	if rep.Err != nil {
 		t.Fatal(rep.Err)
@@ -80,7 +80,7 @@ func TestTCPTransportMatchesLoopback(t *testing.T) {
 
 	// Several sequential batches on the same connection reuse buffers.
 	for round := 0; round < 5; round++ {
-		cl.Submit(2, []wire.Task{{Kind: wire.Backward, Query: uint32(round), Seeds: []int32{5}}}, replyc)
+		cl.Submit(2, wire.BatchHeader{}, []wire.Task{{Kind: wire.Backward, Query: uint32(round), Seeds: []int32{5}}}, replyc)
 		rep := <-replyc
 		if rep.Err != nil {
 			t.Fatal(rep.Err)
@@ -173,7 +173,7 @@ func TestTCPServerSkipsUnownedSeeds(t *testing.T) {
 	}
 	defer cl.Close()
 	replyc := make(chan Reply, 1)
-	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{5, 999}}}, replyc)
+	cl.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{5, 999}}}, replyc)
 	rep := <-replyc
 	if rep.Err != nil {
 		t.Fatalf("unowned seeds rejected: %v", rep.Err)
@@ -182,7 +182,7 @@ func TestTCPServerSkipsUnownedSeeds(t *testing.T) {
 		t.Fatalf("unowned batch produced %+v", r)
 	}
 	// The same connection still answers an owned batch afterward.
-	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 1, Seeds: []int32{0}}}, replyc)
+	cl.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 1, Seeds: []int32{0}}}, replyc)
 	rep = <-replyc
 	if rep.Err != nil || rep.Results[0].Owned != 1 {
 		t.Fatalf("owned batch after unowned one: %+v / %v", rep.Results, rep.Err)
@@ -223,14 +223,14 @@ func TestTCPSummaryFetch(t *testing.T) {
 
 	// Interleave: batch, summary, batch on the same connection.
 	replyc := make(chan Reply, 1)
-	cl.Submit(1, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{2}}}, replyc)
+	cl.Submit(1, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{2}}}, replyc)
 	if rep := <-replyc; rep.Err != nil || !slices.Equal(rep.Results[0].Boundary, []uint32{3}) {
 		t.Fatalf("batch before summary: %+v / %v", rep.Results, rep.Err)
 	}
 	if _, err := cl.Summary(t.Context(), 1); err != nil {
 		t.Fatal(err)
 	}
-	cl.Submit(1, []wire.Task{{Kind: wire.Backward, Query: 1, Seeds: []int32{3}}}, replyc)
+	cl.Submit(1, wire.BatchHeader{}, []wire.Task{{Kind: wire.Backward, Query: 1, Seeds: []int32{3}}}, replyc)
 	if rep := <-replyc; rep.Err != nil || !slices.Equal(rep.Results[0].Boundary, []uint32{2}) {
 		t.Fatalf("batch after summary: %+v / %v", rep.Results, rep.Err)
 	}
@@ -254,7 +254,7 @@ func TestTCPClientSubmitAfterServerGone(t *testing.T) {
 	// observed, but the reply must eventually carry an error, and once
 	// broken every further Submit fails fast.
 	for {
-		cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+		cl.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
 		select {
 		case rep := <-replyc:
 			if rep.Err != nil {
@@ -288,8 +288,8 @@ func TestTCPClientUnsolicitedFrame(t *testing.T) {
 		if _, err := wire.ReadFrame(c, nil); err != nil { // the request
 			return
 		}
-		good := wire.AppendResults(nil, []wire.Result{{Kind: wire.Forward, Query: 0, Boundary: []uint32{1, 2}}})
-		evil := wire.AppendResults(nil, []wire.Result{{Kind: wire.Forward, Query: 9, Boundary: []uint32{7, 7, 7}}})
+		good := wire.AppendResults(nil, 0, false, []wire.Result{{Kind: wire.Forward, Query: 0, Boundary: []uint32{1, 2}}})
+		evil := wire.AppendResults(nil, 0, false, []wire.Result{{Kind: wire.Forward, Query: 9, Boundary: []uint32{7, 7, 7}}})
 		wire.WriteFrame(c, good)
 		wire.WriteFrame(c, evil) // unsolicited
 		time.Sleep(2 * time.Second)
@@ -300,7 +300,7 @@ func TestTCPClientUnsolicitedFrame(t *testing.T) {
 	}
 	defer cl.Close()
 	replyc := make(chan Reply, 1)
-	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+	cl.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
 	rep := <-replyc
 	if rep.Err != nil {
 		t.Fatalf("legitimate reply failed: %v", rep.Err)
@@ -362,7 +362,7 @@ func TestTCPClientCloseFailsPending(t *testing.T) {
 		t.Fatal(err)
 	}
 	replyc := make(chan Reply, 1)
-	cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
+	cl.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 0, Seeds: []int32{0}}}, replyc)
 	done := make(chan struct{})
 	go func() {
 		cl.Close()

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -55,7 +56,7 @@ func TestTCPFrameCounters(t *testing.T) {
 
 	replyc := make(chan Reply, 1)
 	for i := 0; i < 3; i++ {
-		cl.Submit(0, []wire.Task{{Kind: wire.Forward, Query: uint32(i), Seeds: []int32{0}}}, replyc)
+		cl.Submit(0, wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: uint32(i), Seeds: []int32{0}}}, replyc)
 		if rep := <-replyc; rep.Err != nil {
 			t.Fatal(rep.Err)
 		}
@@ -109,6 +110,120 @@ func TestTCPFrameCounters(t *testing.T) {
 	}
 	if out := logbuf.String(); !strings.Contains(out, "dropping connection") {
 		t.Errorf("protocol failure not logged:\n%s", out)
+	}
+}
+
+// TestServerTimingAndEndpoints: a traced batch comes back with the
+// server's self-measured timing footer and the batch ID echoed; an
+// untraced one carries neither — but the server-side breakdown
+// histograms measure every batch regardless, feeding the shard's own
+// /metrics. The client surfaces each connection's identity (address,
+// announced ops endpoint, liveness) through Endpoints().
+func TestServerTimingAndEndpoints(t *testing.T) {
+	shards, _ := chainFixture(t)
+	reg := obs.NewRegistry()
+	addrs := make([]string, len(shards))
+	servers := make([]*Server, len(shards))
+	var done []chan struct{}
+	for i, sh := range shards {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		srv := NewServer(sh, len(shards), 6, testGraphSum, testPartSum)
+		srv.Instrument(reg, nil)
+		srv.AnnounceMetrics(fmt.Sprintf("10.0.0.%d:9090", i))
+		// An oversized announce must be ignored, not clobber the real one.
+		srv.AnnounceMetrics(strings.Repeat("a", 300))
+		servers[i] = srv
+		ch := make(chan struct{})
+		done = append(done, ch)
+		go func() {
+			defer close(ch)
+			srv.Serve(ln)
+		}()
+	}
+	defer func() {
+		for i, srv := range servers {
+			srv.Close()
+			<-done[i]
+		}
+	}()
+
+	cl, err := Dial(t.Context(), addrs, 6, testGraphSum, testPartSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	replyc := make(chan Reply, 1)
+	task := []wire.Task{{Kind: wire.Forward, Query: 1, Seeds: []int32{0}}}
+	cl.Submit(0, wire.BatchHeader{Trace: true, Batch: 42}, task, replyc)
+	rep := <-replyc
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if !rep.HasTiming || rep.Batch != 42 {
+		t.Fatalf("traced batch reply: hasTiming=%v batch=%d, want footer and batch 42", rep.HasTiming, rep.Batch)
+	}
+	if rep.Timing.Total() == 0 {
+		t.Errorf("timing footer is all zeros: %+v", rep.Timing)
+	}
+
+	cl.Submit(0, wire.BatchHeader{}, task, replyc)
+	rep = <-replyc
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.HasTiming || rep.Batch != 0 {
+		t.Fatalf("untraced batch reply: hasTiming=%v batch=%d, want neither", rep.HasTiming, rep.Batch)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"shard_server_decode_ns", "shard_server_queue_ns",
+		"shard_server_search_ns", "shard_server_encode_ns",
+	} {
+		if got := snap.Histograms[name].Count; got != 2 {
+			t.Errorf("%s observed %d batches, want 2 (traced and untraced)", name, got)
+		}
+	}
+
+	eps := cl.Endpoints()
+	if len(eps) != len(shards) {
+		t.Fatalf("Endpoints() has %d entries, want %d", len(eps), len(shards))
+	}
+	for i, ep := range eps {
+		if ep.Partition != i || ep.Replica != 0 || !ep.Live {
+			t.Errorf("endpoint %d = %+v, want live p%d/r0", i, ep, i)
+		}
+		if ep.Addr != addrs[i] {
+			t.Errorf("endpoint %d addr = %q, want %q", i, ep.Addr, addrs[i])
+		}
+		if want := fmt.Sprintf("10.0.0.%d:9090", i); ep.MetricsAddr != want {
+			t.Errorf("endpoint %d metrics addr = %q, want %q", i, ep.MetricsAddr, want)
+		}
+	}
+}
+
+// TestReplicatedEndpoints: the replicated transport lists every
+// replica slot of every partition, in order.
+func TestReplicatedEndpoints(t *testing.T) {
+	groups, _ := localGroups(t, 2)
+	tr, err := NewReplicated(t.Context(), groups, ReplicatedOptions{ReconnectEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	eps := tr.Endpoints()
+	if len(eps) != len(groups)*2 {
+		t.Fatalf("Endpoints() has %d entries, want %d", len(eps), len(groups)*2)
+	}
+	for i, ep := range eps {
+		if ep.Partition != i/2 || ep.Replica != i%2 || !ep.Live {
+			t.Errorf("endpoint %d = %+v, want live p%d/r%d", i, ep, i/2, i%2)
+		}
 	}
 }
 
@@ -216,7 +331,7 @@ func TestTCPReplicaDialerHandshake(t *testing.T) {
 	}
 	defer rep.Close()
 	replyc := make(chan Reply, 1)
-	rep.Submit([]wire.Task{{Kind: wire.Forward, Query: 7, Seeds: []int32{0}}}, replyc)
+	rep.Submit(wire.BatchHeader{}, []wire.Task{{Kind: wire.Forward, Query: 7, Seeds: []int32{0}}}, replyc)
 	if r := <-replyc; r.Err != nil || len(r.Results) != 1 || r.Results[0].Query != 7 {
 		t.Fatalf("bad reply through TCPReplicaDialer: %+v", r)
 	}

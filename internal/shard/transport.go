@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"dsr/internal/wire"
 )
@@ -19,12 +20,35 @@ type SummaryInfo struct {
 	Summary wire.Summary
 }
 
+// EndpointInfo describes one endpoint a transport talks to: which
+// partition and replica slot it serves, its dialed address, the metrics
+// (ops-endpoint) address it announced in its hello — empty when the
+// server runs without -metrics-addr — and whether it is currently live.
+// Transports that know their endpoints (Client, Replicated) expose an
+// Endpoints() method returning one entry per (partition, replica); the
+// fleet aggregator uses it to find every shard registry worth scraping.
+type EndpointInfo struct {
+	Partition   int
+	Replica     int
+	Addr        string
+	MetricsAddr string
+	Live        bool
+}
+
 // Reply delivers one shard's results for a submitted batch. On a
-// transport failure Err is set and Results is nil.
+// transport failure Err is set and Results is nil. Batch echoes the
+// submitted header's batch ID (0 when the serving endpoint predates
+// batch IDs), and when the header requested tracing, Timing carries the
+// server's self-measured breakdown with HasTiming set — in-process
+// transports synthesize it (search time only), TCP servers measure all
+// four phases.
 type Reply struct {
-	Shard   int
-	Results []wire.Result
-	Err     error
+	Shard     int
+	Results   []wire.Result
+	Err       error
+	Batch     uint64
+	HasTiming bool
+	Timing    wire.ServerTiming
 }
 
 // Transport carries task batches from a coordinator to shards. Submit
@@ -41,9 +65,10 @@ type Reply struct {
 // Both implementations also expose NumShards(), but the coordinator
 // already knows its partition count, so the interface stays minimal.
 type Transport interface {
-	// Submit ships the batch to shard p. tasks must be non-empty and
-	// remain untouched until the Reply arrives.
-	Submit(p int, tasks []wire.Task, replyc chan<- Reply)
+	// Submit ships the batch to shard p under the given batch header.
+	// tasks must be non-empty and remain untouched until the Reply
+	// arrives.
+	Submit(p int, h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply)
 	// Summary fetches shard p's boundary summary plus the identity of
 	// the endpoint serving it. The returned slices follow the same arena
 	// contract as Results: they alias transport-owned buffers valid
@@ -70,8 +95,28 @@ type Loopback struct {
 }
 
 type loopReq struct {
+	hdr    wire.BatchHeader
 	tasks  []wire.Task
 	replyc chan<- Reply
+}
+
+// serveLocal runs one batch on sh and builds its Reply, synthesizing
+// the server-timing breakdown (search time only — there is no decode,
+// queue, or encode in process) when the header asks for tracing. Shared
+// by Loopback goroutines and localReplica so both transports feed the
+// engine's net-vs-server split. The timing branch is allocation-free:
+// the Reply is built by value.
+func serveLocal(sh *Shard, hdr wire.BatchHeader, tasks []wire.Task) Reply {
+	rep := Reply{Shard: sh.ID(), Batch: hdr.Batch}
+	if hdr.Trace {
+		start := time.Now()
+		rep.Results = sh.Run(tasks)
+		rep.Timing.Search = uint64(time.Since(start))
+		rep.HasTiming = true
+		return rep
+	}
+	rep.Results = sh.Run(tasks)
+	return rep
 }
 
 // NewLoopback starts one serving goroutine per shard and returns the
@@ -89,7 +134,7 @@ func NewLoopback(shards []*Shard) *Loopback {
 		go func(sh *Shard, reqs <-chan loopReq) {
 			defer lb.wg.Done()
 			for req := range reqs {
-				req.replyc <- Reply{Shard: sh.ID(), Results: sh.Run(req.tasks)}
+				req.replyc <- serveLocal(sh, req.hdr, req.tasks)
 			}
 		}(shards[i], lb.reqs[i])
 	}
@@ -100,8 +145,8 @@ func NewLoopback(shards []*Shard) *Loopback {
 func (lb *Loopback) NumShards() int { return len(lb.shards) }
 
 // Submit sends the batch to shard p's goroutine.
-func (lb *Loopback) Submit(p int, tasks []wire.Task, replyc chan<- Reply) {
-	lb.reqs[p] <- loopReq{tasks: tasks, replyc: replyc}
+func (lb *Loopback) Submit(p int, h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply) {
+	lb.reqs[p] <- loopReq{hdr: h, tasks: tasks, replyc: replyc}
 }
 
 // Summary returns shard p's boundary summary directly — no goroutine

@@ -50,11 +50,21 @@ func TestReadFrameHostileHeaders(t *testing.T) {
 // panic, and inflated element counts must be caught before the decoder
 // grows any slice by them.
 func TestDecodeHostilePayloads(t *testing.T) {
-	// A tasks payload claiming 2^60 tasks in 4 bytes: readCount must
-	// reject it against the remaining byte count.
-	inflated := append([]byte{MsgTasks}, binary.AppendUvarint(nil, 1<<60)...)
-	// A results payload whose boundary count outruns the payload.
-	badBoundary := []byte{MsgResults, 1, byte(Forward), 0 /*query*/, 0 /*hit*/, 1 /*owned*/, 200 /*count*/}
+	// A tasks payload claiming 2^60 tasks in a handful of bytes:
+	// readCount must reject it against the remaining byte count. The
+	// two zero bytes after the type are the batch header (flags, batch
+	// ID).
+	inflated := append([]byte{MsgTasks, 0, 0}, binary.AppendUvarint(nil, 1<<60)...)
+	// A results payload whose boundary count outruns the payload
+	// (flags=0, batch=0, one result).
+	badBoundary := []byte{MsgResults, 0, 0, 1, byte(Forward), 0 /*query*/, 0 /*hit*/, 1 /*owned*/, 200 /*count*/}
+	// A results payload promising a timing footer it never delivers.
+	noFooter := AppendResults(nil, 3, true, nil)
+	// A hello whose metrics-address length outruns the payload: flip a
+	// clean hello's trailing zero-length byte to claim 5 address bytes.
+	shortAddr := AppendHello(nil, Hello{})
+	shortAddr[len(shortAddr)-1] = 5
+	shortAddr = append(shortAddr, 'a')
 	// A summary payload claiming 2^50 boundary vertices in a handful of
 	// bytes, and one whose edge-pair count outruns the payload.
 	inflatedSummary := append([]byte{MsgSummary}, binary.AppendUvarint(nil, 1<<50)...)
@@ -69,17 +79,22 @@ func TestDecodeHostilePayloads(t *testing.T) {
 	}{
 		{"empty", nil},
 		{"type only tasks", []byte{MsgTasks}},
+		{"tasks flags only", []byte{MsgTasks, 0}},
+		{"tasks unknown flags", []byte{MsgTasks, 0x80, 0, 0}},
 		{"inflated task count", inflated},
-		{"task kind garbage", []byte{MsgTasks, 1, 0x7F}},
-		{"task truncated mid-seeds", []byte{MsgTasks, 1, byte(Forward), 0, 3, 1}},
+		{"task kind garbage", []byte{MsgTasks, 0, 0, 1, 0x7F}},
+		{"task truncated mid-seeds", []byte{MsgTasks, 0, 0, 1, byte(Forward), 0, 3, 1}},
 		{"results type only", []byte{MsgResults}},
+		{"results unknown flags", []byte{MsgResults, 0x02, 0, 0}},
+		{"results missing timing footer", noFooter},
 		{"inflated boundary count", badBoundary},
-		{"bad hit byte", []byte{MsgResults, 1, byte(Forward), 0, 9, 0}},
+		{"bad hit byte", []byte{MsgResults, 0, 0, 1, byte(Forward), 0, 9, 0}},
 		{"hello short magic", []byte{MsgHello, 0x44, 0x53}},
 		{"hello bad magic", []byte{MsgHello, 0, 0, 0, 0, 1, 1, 1}},
 		{"hello oversized varint", over64},
+		{"hello addr overruns payload", shortAddr},
 		{"wrong type everywhere", AppendError(nil, "x")},
-		{"trailing garbage", append(AppendTasks(nil, nil), 0xEE)},
+		{"trailing garbage", append(AppendTasks(nil, BatchHeader{}, nil), 0xEE)},
 		{"summary type only", []byte{MsgSummary}},
 		{"inflated summary boundary count", inflatedSummary},
 		{"inflated summary pair count", badPairs},
@@ -88,10 +103,10 @@ func TestDecodeHostilePayloads(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if _, _, err := DecodeTasks(c.payload, nil, nil); err == nil {
+			if _, _, _, err := DecodeTasks(c.payload, nil, nil); err == nil {
 				t.Error("DecodeTasks accepted hostile payload")
 			}
-			if _, _, err := DecodeResults(c.payload, nil, nil); err == nil {
+			if _, _, _, err := DecodeResults(c.payload, nil, nil); err == nil {
 				t.Error("DecodeResults accepted hostile payload")
 			}
 			if _, err := DecodeHello(c.payload); err == nil {
@@ -109,21 +124,25 @@ func TestDecodeHostilePayloads(t *testing.T) {
 // (decode-encode-decode fixpoint).
 func FuzzDecodeTasks(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(AppendTasks(nil, nil))
-	f.Add(AppendTasks(nil, []Task{
+	f.Add(AppendTasks(nil, BatchHeader{}, nil))
+	f.Add(AppendTasks(nil, BatchHeader{Trace: true, Batch: 99}, []Task{
 		{Kind: Forward, Query: 9, Seeds: []int32{1, 300, 70000}, Targets: []int32{2}},
 		{Kind: Backward, Query: 10, Seeds: []int32{0}},
 	}))
 	f.Add([]byte{MsgTasks, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{MsgTasks, 0x01, 0x80, 0x01, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tasks, _, err := DecodeTasks(data, nil, nil)
+		hdr, tasks, _, err := DecodeTasks(data, nil, nil)
 		if err != nil {
 			return
 		}
-		re := AppendTasks(nil, tasks)
-		again, _, err := DecodeTasks(re, nil, nil)
+		re := AppendTasks(nil, hdr, tasks)
+		hdr2, again, _, err := DecodeTasks(re, nil, nil)
 		if err != nil {
 			t.Fatalf("re-decode of accepted payload failed: %v", err)
+		}
+		if hdr2 != hdr {
+			t.Fatalf("header changed across re-encode: %+v vs %+v", hdr, hdr2)
 		}
 		if len(again) != len(tasks) {
 			t.Fatalf("fixpoint broke: %d tasks then %d", len(tasks), len(again))
@@ -139,20 +158,29 @@ func FuzzDecodeTasks(f *testing.F) {
 // FuzzDecodeResults mirrors FuzzDecodeTasks for the result decoder.
 func FuzzDecodeResults(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(AppendResults(nil, nil))
-	f.Add(AppendResults(nil, []Result{
+	f.Add(AppendResults(nil, 0, false, nil))
+	f.Add(AppendResults(nil, 12, false, []Result{
 		{Kind: Forward, Query: 1, Hit: true, Boundary: []uint32{7, 1 << 30}},
 		{Kind: Backward, Query: 2, Boundary: []uint32{0}},
 	}))
+	f.Add(AppendServerTiming(AppendResults(nil, 12, true, []Result{
+		{Kind: Forward, Query: 1, Hit: true, Owned: 4, Boundary: []uint32{7}},
+	}), ServerTiming{Decode: 1500, Queue: 20, Search: 4_000_000, Encode: 900}))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		results, _, err := DecodeResults(data, nil, nil)
+		info, results, _, err := DecodeResults(data, nil, nil)
 		if err != nil {
 			return
 		}
-		re := AppendResults(nil, results)
-		again, _, err := DecodeResults(re, nil, nil)
+		re := AppendResults(nil, info.Batch, info.HasTiming, results)
+		if info.HasTiming {
+			re = AppendServerTiming(re, info.Timing)
+		}
+		info2, again, _, err := DecodeResults(re, nil, nil)
 		if err != nil {
 			t.Fatalf("re-decode of accepted payload failed: %v", err)
+		}
+		if info2 != info {
+			t.Fatalf("info changed across re-encode: %+v vs %+v", info, info2)
 		}
 		if len(again) != len(results) {
 			t.Fatalf("fixpoint broke: %d results then %d", len(results), len(again))
@@ -206,6 +234,7 @@ func FuzzDecodeHello(f *testing.F) {
 		ShardID: 2, NumShards: 5, NumVertices: 1 << 30,
 		Graph: 0xFEEDC0DE, Partitioning: 0xBADC0FFEE,
 	}))
+	f.Add(AppendHello(nil, Hello{ShardID: 1, MetricsAddr: "127.0.0.1:9090"}))
 	f.Add([]byte{MsgHello, 0x44, 0x53, 0x52, 0x31}) // magic, then truncated
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := DecodeHello(data)

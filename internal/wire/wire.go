@@ -19,10 +19,16 @@
 //     each tagged with the batch-query index it belongs to. Seeds and
 //     targets are global vertex IDs; a shard silently skips the ones
 //     it does not own (the coordinator broadcasts, it has no placement
-//     data) and reports how many it owned.
+//     data) and reports how many it owned. The batch leads with a
+//     header — a flags byte plus a coordinator-assigned batch ID —
+//     whose trace flag asks the server to measure itself.
 //   - MsgResults  — server -> client: one result per task, in task
 //     order, carrying local-hit flags, owned-seed counts, and
-//     boundary-vertex sets.
+//     boundary-vertex sets. Echoes the batch ID, and when the batch
+//     requested tracing the payload ends with a server-timing footer
+//     (decode, queue-wait, local-search, and encode nanoseconds) so
+//     the coordinator can split round-trip time into network vs shard
+//     compute.
 //   - MsgError    — server -> client: a fatal protocol error as text;
 //     the connection is closed afterwards.
 //
@@ -62,9 +68,33 @@ const (
 
 // helloMagic guards against a client speaking to something that is not
 // a DSR shard — and against an old one: it leads the hello payload
-// ("DSR2"; the bump from DSR1 covers task seeds going global and
-// results carrying owned-seed counts).
-const helloMagic = 0x44535232
+// ("DSR3"; the bump from DSR2 covers the task-batch header, the
+// server-timing footer on results, and the hello's metrics address).
+const helloMagic = 0x44535233
+
+// Task-batch header flags (the byte after the MsgTasks type byte).
+// Unknown bits are rejected by DecodeTasks: a flag this build does not
+// understand means a newer peer, and silently ignoring it could drop a
+// semantic the sender depends on.
+const (
+	// TaskFlagTrace asks the server to time itself and append a
+	// server-timing footer to its MsgResults reply.
+	TaskFlagTrace = 0x01
+
+	taskFlagsKnown = TaskFlagTrace
+)
+
+// Results flags (the byte after the MsgResults type byte).
+const (
+	// resultFlagTiming marks a server-timing footer after the results.
+	resultFlagTiming = 0x01
+
+	resultFlagsKnown = resultFlagTiming
+)
+
+// maxMetricsAddr caps the hello's metrics-address string. Real
+// addresses are host:port; anything past this is hostile or corrupt.
+const maxMetricsAddr = 256
 
 // Protocol errors.
 var (
@@ -137,12 +167,53 @@ type Summary struct {
 // two processes that loaded the same graph but partitioned it
 // differently (e.g. hash vs locality, or locality with different
 // seeds). For either, 0 means "not computed" and skips the check.
+// MetricsAddr, when non-empty, is the host:port of the shard's ops
+// endpoint so a coordinator can aggregate the fleet's /metrics
+// registries without separate service discovery.
 type Hello struct {
 	ShardID      uint32
 	NumShards    uint32
 	NumVertices  uint32
 	Graph        uint64
 	Partitioning uint64
+	MetricsAddr  string
+}
+
+// BatchHeader prefixes every MsgTasks batch. Batch is a coordinator-
+// assigned ID echoed back in the MsgResults reply (0 means unassigned);
+// Trace asks the server to measure itself and append a server-timing
+// footer to the reply.
+type BatchHeader struct {
+	Trace bool
+	Batch uint64
+}
+
+// ServerTiming is a shard server's self-measured breakdown of one task
+// batch, in nanoseconds: request decode, queue wait for the shard's run
+// lock, the local search itself, and response encode. It rides as a
+// footer on MsgResults when the batch's header set Trace, letting the
+// coordinator split observed round-trip time into network vs shard
+// compute — the communication/computation separation the DSR evaluation
+// is built on.
+type ServerTiming struct {
+	Decode uint64
+	Queue  uint64
+	Search uint64
+	Encode uint64
+}
+
+// Total is the server-side wall time covered by the breakdown.
+func (t ServerTiming) Total() uint64 {
+	return t.Decode + t.Queue + t.Search + t.Encode
+}
+
+// ResultsInfo carries the per-batch metadata decoded from a MsgResults
+// payload: the echoed batch ID and, when the server measured itself,
+// its timing footer.
+type ResultsInfo struct {
+	Batch     uint64
+	HasTiming bool
+	Timing    ServerTiming
 }
 
 // WriteFrame writes one length-prefixed frame. The payload must be
@@ -204,6 +275,8 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = binary.AppendUvarint(dst, uint64(h.NumVertices))
 	dst = binary.AppendUvarint(dst, h.Graph)
 	dst = binary.AppendUvarint(dst, h.Partitioning)
+	dst = binary.AppendUvarint(dst, uint64(len(h.MetricsAddr)))
+	dst = append(dst, h.MetricsAddr...)
 	return dst
 }
 
@@ -236,15 +309,31 @@ func DecodeHello(p []byte) (Hello, error) {
 	if h.Partitioning, p, err = readUint64(p); err != nil {
 		return h, err
 	}
+	alen, p, err := readCount(p)
+	if err != nil {
+		return h, err
+	}
+	if alen > maxMetricsAddr {
+		return h, fmt.Errorf("wire: metrics address length %d exceeds %d", alen, maxMetricsAddr)
+	}
+	h.MetricsAddr = string(p[:alen])
+	p = p[alen:]
 	if len(p) != 0 {
 		return h, fmt.Errorf("wire: %d trailing bytes after hello", len(p))
 	}
 	return h, nil
 }
 
-// AppendTasks appends a MsgTasks payload carrying the batch to dst.
-func AppendTasks(dst []byte, tasks []Task) []byte {
+// AppendTasks appends a MsgTasks payload carrying the batch to dst,
+// led by its header (flags byte + batch ID).
+func AppendTasks(dst []byte, h BatchHeader, tasks []Task) []byte {
 	dst = append(dst, MsgTasks)
+	flags := byte(0)
+	if h.Trace {
+		flags |= TaskFlagTrace
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, h.Batch)
 	dst = binary.AppendUvarint(dst, uint64(len(tasks)))
 	for i := range tasks {
 		t := &tasks[i]
@@ -256,50 +345,75 @@ func AppendTasks(dst []byte, tasks []Task) []byte {
 	return dst
 }
 
-// DecodeTasks decodes a MsgTasks payload. Decoded tasks are appended to
-// dst and their Seeds/Targets slices into arena, so a caller that keeps
-// both between calls (truncated to length 0) pays no steady-state
-// allocations. The returned tasks alias the returned arena.
-func DecodeTasks(p []byte, dst []Task, arena []int32) ([]Task, []int32, error) {
+// DecodeTasks decodes a MsgTasks payload, returning its batch header.
+// Decoded tasks are appended to dst and their Seeds/Targets slices into
+// arena, so a caller that keeps both between calls (truncated to length
+// 0) pays no steady-state allocations. The returned tasks alias the
+// returned arena. Unknown header flag bits are rejected.
+func DecodeTasks(p []byte, dst []Task, arena []int32) (BatchHeader, []Task, []int32, error) {
+	var hdr BatchHeader
 	p, err := expectType(p, MsgTasks)
 	if err != nil {
-		return dst, arena, err
+		return hdr, dst, arena, err
+	}
+	if len(p) == 0 {
+		return hdr, dst, arena, ErrTruncated
+	}
+	flags := p[0]
+	if flags&^byte(taskFlagsKnown) != 0 {
+		return hdr, dst, arena, fmt.Errorf("wire: unknown task flags %#02x", flags)
+	}
+	hdr.Trace = flags&TaskFlagTrace != 0
+	p = p[1:]
+	if hdr.Batch, p, err = readUint64(p); err != nil {
+		return hdr, dst, arena, err
 	}
 	count, p, err := readCount(p)
 	if err != nil {
-		return dst, arena, err
+		return hdr, dst, arena, err
 	}
 	for i := 0; i < count; i++ {
 		if len(p) == 0 {
-			return dst, arena, ErrTruncated
+			return hdr, dst, arena, ErrTruncated
 		}
 		kind := TaskKind(p[0])
 		if kind != Forward && kind != Backward {
-			return dst, arena, fmt.Errorf("wire: bad task kind %d", kind)
+			return hdr, dst, arena, fmt.Errorf("wire: bad task kind %d", kind)
 		}
 		p = p[1:]
 		var q uint32
 		if q, p, err = readUint32(p); err != nil {
-			return dst, arena, err
+			return hdr, dst, arena, err
 		}
 		var seeds, targets []int32
 		if seeds, arena, p, err = readIDs32(p, arena); err != nil {
-			return dst, arena, err
+			return hdr, dst, arena, err
 		}
 		if targets, arena, p, err = readIDs32(p, arena); err != nil {
-			return dst, arena, err
+			return hdr, dst, arena, err
 		}
 		dst = append(dst, Task{Kind: kind, Query: q, Seeds: seeds, Targets: targets})
 	}
 	if len(p) != 0 {
-		return dst, arena, fmt.Errorf("wire: %d trailing bytes after tasks", len(p))
+		return hdr, dst, arena, fmt.Errorf("wire: %d trailing bytes after tasks", len(p))
 	}
-	return dst, arena, nil
+	return hdr, dst, arena, nil
 }
 
-// AppendResults appends a MsgResults payload to dst.
-func AppendResults(dst []byte, results []Result) []byte {
+// AppendResults appends a MsgResults payload to dst, echoing the
+// request's batch ID. withTiming declares that a server-timing footer
+// follows the results; the caller MUST then complete the payload with
+// AppendServerTiming before framing it. The footer is appended
+// separately so the server can include the encode time of the results
+// themselves in the measurement.
+func AppendResults(dst []byte, batch uint64, withTiming bool, results []Result) []byte {
 	dst = append(dst, MsgResults)
+	flags := byte(0)
+	if withTiming {
+		flags |= resultFlagTiming
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, batch)
 	dst = binary.AppendUvarint(dst, uint64(len(results)))
 	for i := range results {
 		r := &results[i]
@@ -319,62 +433,100 @@ func AppendResults(dst []byte, results []Result) []byte {
 	return dst
 }
 
+// AppendServerTiming appends the server-timing footer to a MsgResults
+// payload built with withTiming=true.
+func AppendServerTiming(dst []byte, t ServerTiming) []byte {
+	dst = binary.AppendUvarint(dst, t.Decode)
+	dst = binary.AppendUvarint(dst, t.Queue)
+	dst = binary.AppendUvarint(dst, t.Search)
+	dst = binary.AppendUvarint(dst, t.Encode)
+	return dst
+}
+
 // DecodeResults decodes a MsgResults payload, appending results to dst
 // and their Boundary slices into arena (same reuse contract as
-// DecodeTasks).
-func DecodeResults(p []byte, dst []Result, arena []uint32) ([]Result, []uint32, error) {
+// DecodeTasks). The returned info carries the echoed batch ID and the
+// server-timing footer when present. Unknown flag bits are rejected.
+func DecodeResults(p []byte, dst []Result, arena []uint32) (ResultsInfo, []Result, []uint32, error) {
+	var info ResultsInfo
 	p, err := expectType(p, MsgResults)
 	if err != nil {
-		return dst, arena, err
+		return info, dst, arena, err
+	}
+	if len(p) == 0 {
+		return info, dst, arena, ErrTruncated
+	}
+	flags := p[0]
+	if flags&^byte(resultFlagsKnown) != 0 {
+		return info, dst, arena, fmt.Errorf("wire: unknown result flags %#02x", flags)
+	}
+	info.HasTiming = flags&resultFlagTiming != 0
+	p = p[1:]
+	if info.Batch, p, err = readUint64(p); err != nil {
+		return info, dst, arena, err
 	}
 	count, p, err := readCount(p)
 	if err != nil {
-		return dst, arena, err
+		return info, dst, arena, err
 	}
 	for i := 0; i < count; i++ {
 		if len(p) < 3 { // kind + query varint + hit, at minimum
-			return dst, arena, ErrTruncated
+			return info, dst, arena, ErrTruncated
 		}
 		kind := TaskKind(p[0])
 		if kind != Forward && kind != Backward {
-			return dst, arena, fmt.Errorf("wire: bad result kind %d", kind)
+			return info, dst, arena, fmt.Errorf("wire: bad result kind %d", kind)
 		}
 		p = p[1:]
 		var q uint32
 		if q, p, err = readUint32(p); err != nil {
-			return dst, arena, err
+			return info, dst, arena, err
 		}
 		if len(p) == 0 {
-			return dst, arena, ErrTruncated
+			return info, dst, arena, ErrTruncated
 		}
 		if p[0] > 1 {
-			return dst, arena, fmt.Errorf("wire: bad hit byte %d", p[0])
+			return info, dst, arena, fmt.Errorf("wire: bad hit byte %d", p[0])
 		}
 		hit := p[0] == 1
 		p = p[1:]
 		var owned uint32
 		if owned, p, err = readUint32(p); err != nil {
-			return dst, arena, err
+			return info, dst, arena, err
 		}
 		n, p2, err := readCount(p)
 		if err != nil {
-			return dst, arena, err
+			return info, dst, arena, err
 		}
 		p = p2
 		start := len(arena)
 		for j := 0; j < n; j++ {
 			var v uint32
 			if v, p, err = readUint32(p); err != nil {
-				return dst, arena, err
+				return info, dst, arena, err
 			}
 			arena = append(arena, v)
 		}
 		dst = append(dst, Result{Kind: kind, Query: q, Hit: hit, Owned: owned, Boundary: arena[start:len(arena):len(arena)]})
 	}
-	if len(p) != 0 {
-		return dst, arena, fmt.Errorf("wire: %d trailing bytes after results", len(p))
+	if info.HasTiming {
+		if info.Timing.Decode, p, err = readUint64(p); err != nil {
+			return info, dst, arena, err
+		}
+		if info.Timing.Queue, p, err = readUint64(p); err != nil {
+			return info, dst, arena, err
+		}
+		if info.Timing.Search, p, err = readUint64(p); err != nil {
+			return info, dst, arena, err
+		}
+		if info.Timing.Encode, p, err = readUint64(p); err != nil {
+			return info, dst, arena, err
+		}
 	}
-	return dst, arena, nil
+	if len(p) != 0 {
+		return info, dst, arena, fmt.Errorf("wire: %d trailing bytes after results", len(p))
+	}
+	return info, dst, arena, nil
 }
 
 // AppendSummaryRequest appends a MsgSummaryRequest payload to dst. The

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -52,6 +53,8 @@ func TestHelloRoundTrip(t *testing.T) {
 		{},
 		{ShardID: 2, NumShards: 5, NumVertices: 1_000_000, Graph: 0xDEADBEEFCAFE},
 		{ShardID: math.MaxUint32, NumShards: math.MaxUint32, NumVertices: math.MaxUint32, Graph: math.MaxUint64},
+		{ShardID: 1, NumShards: 3, MetricsAddr: "127.0.0.1:9090"},
+		{MetricsAddr: strings.Repeat("a", maxMetricsAddr)},
 	} {
 		got, err := DecodeHello(AppendHello(nil, h))
 		if err != nil {
@@ -60,6 +63,13 @@ func TestHelloRoundTrip(t *testing.T) {
 		if got != h {
 			t.Fatalf("round trip: got %+v, want %+v", got, h)
 		}
+	}
+}
+
+func TestDecodeHelloRejectsOversizedMetricsAddr(t *testing.T) {
+	p := AppendHello(nil, Hello{MetricsAddr: strings.Repeat("a", maxMetricsAddr+1)})
+	if _, err := DecodeHello(p); err == nil {
+		t.Fatal("hello with oversized metrics address accepted")
 	}
 }
 
@@ -91,10 +101,20 @@ func TestTasksRoundTrip(t *testing.T) {
 			{Kind: Forward, Query: math.MaxUint32, Seeds: []int32{5}, Targets: nil},
 		},
 	}
+	headers := []BatchHeader{
+		{},
+		{Trace: true, Batch: 1},
+		{Batch: math.MaxUint64},
+		{Trace: true, Batch: 1 << 40},
+	}
 	for ci, tasks := range cases {
-		got, _, err := DecodeTasks(AppendTasks(nil, tasks), nil, nil)
+		hdr := headers[ci%len(headers)]
+		gotHdr, got, _, err := DecodeTasks(AppendTasks(nil, hdr, tasks), nil, nil)
 		if err != nil {
 			t.Fatalf("case %d: %v", ci, err)
+		}
+		if gotHdr != hdr {
+			t.Fatalf("case %d: header round trip: got %+v, want %+v", ci, gotHdr, hdr)
 		}
 		if len(got) != len(tasks) {
 			t.Fatalf("case %d: got %d tasks, want %d", ci, len(got), len(tasks))
@@ -118,9 +138,13 @@ func TestResultsRoundTrip(t *testing.T) {
 		},
 	}
 	for ci, results := range cases {
-		got, _, err := DecodeResults(AppendResults(nil, results), nil, nil)
+		batch := uint64(ci * 17)
+		info, got, _, err := DecodeResults(AppendResults(nil, batch, false, results), nil, nil)
 		if err != nil {
 			t.Fatalf("case %d: %v", ci, err)
+		}
+		if info.Batch != batch || info.HasTiming {
+			t.Fatalf("case %d: info = %+v, want batch %d without timing", ci, info, batch)
 		}
 		if len(got) != len(results) {
 			t.Fatalf("case %d: got %d results, want %d", ci, len(got), len(results))
@@ -131,6 +155,35 @@ func TestResultsRoundTrip(t *testing.T) {
 				t.Fatalf("case %d result %d: got %+v, want %+v", ci, i, g, w)
 			}
 		}
+	}
+}
+
+// TestResultsTimingFooter round-trips the server-timing footer that a
+// traced batch's reply carries after its results.
+func TestResultsTimingFooter(t *testing.T) {
+	results := []Result{
+		{Kind: Forward, Query: 0, Hit: true, Owned: 3, Boundary: []uint32{1, 2}},
+		{Kind: Backward, Query: 1, Boundary: []uint32{5}},
+	}
+	timing := ServerTiming{Decode: 1200, Queue: 35, Search: 9_000_000, Encode: 800}
+	p := AppendResults(nil, 42, true, results)
+	p = AppendServerTiming(p, timing)
+	info, got, _, err := DecodeResults(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Batch != 42 || !info.HasTiming || info.Timing != timing {
+		t.Fatalf("info = %+v, want batch 42 with timing %+v", info, timing)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("got %d results, want %d", len(got), len(results))
+	}
+	if want := timing.Decode + timing.Queue + timing.Search + timing.Encode; timing.Total() != want {
+		t.Fatalf("Total() = %d, want %d", timing.Total(), want)
+	}
+	// A payload that promises a footer but omits it is truncated.
+	if _, _, _, err := DecodeResults(AppendResults(nil, 42, true, results), nil, nil); err == nil {
+		t.Fatal("missing timing footer accepted")
 	}
 }
 
@@ -191,22 +244,41 @@ func TestDecodeReuse(t *testing.T) {
 		{Kind: Forward, Query: 1, Seeds: []int32{1, 2, 3}, Targets: []int32{4}},
 		{Kind: Backward, Query: 2, Seeds: []int32{5, 6}},
 	}
-	payload := AppendTasks(nil, tasks)
+	payload := AppendTasks(nil, BatchHeader{Trace: true, Batch: 7}, tasks)
 	var dst []Task
 	var arena []int32
 	var err error
 	// Warm up capacity.
-	if dst, arena, err = DecodeTasks(payload, dst[:0], arena[:0]); err != nil {
+	if _, dst, arena, err = DecodeTasks(payload, dst[:0], arena[:0]); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		dst, arena, err = DecodeTasks(payload, dst[:0], arena[:0])
+		_, dst, arena, err = DecodeTasks(payload, dst[:0], arena[:0])
 		if err != nil {
 			t.Fatal(err)
 		}
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state DecodeTasks allocates %v/op, want 0", allocs)
+	}
+	// The results decoder carries the same contract, timing footer
+	// included: parsing the footer touches only the ResultsInfo value.
+	rp := AppendServerTiming(AppendResults(nil, 7, true, []Result{
+		{Kind: Forward, Query: 1, Hit: true, Owned: 2, Boundary: []uint32{3, 9}},
+	}), ServerTiming{Decode: 1, Queue: 2, Search: 3, Encode: 4})
+	var rdst []Result
+	var rarena []uint32
+	if _, rdst, rarena, err = DecodeResults(rp, rdst[:0], rarena[:0]); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		_, rdst, rarena, err = DecodeResults(rp, rdst[:0], rarena[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state DecodeResults allocates %v/op, want 0", allocs)
 	}
 }
 
@@ -233,9 +305,13 @@ func TestRandomizedTaskRoundTrip(t *testing.T) {
 				Targets: randIDs(rng),
 			}
 		}
-		got, _, err := DecodeTasks(AppendTasks(nil, tasks), nil, nil)
+		hdr := BatchHeader{Trace: rng.Intn(2) == 1, Batch: rng.Uint64()}
+		gotHdr, got, _, err := DecodeTasks(AppendTasks(nil, hdr, tasks), nil, nil)
 		if err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if gotHdr != hdr {
+			t.Fatalf("iter %d: header mismatch: got %+v, want %+v", iter, gotHdr, hdr)
 		}
 		for i := range tasks {
 			if !taskEqual(got[i], tasks[i]) {

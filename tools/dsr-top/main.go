@@ -1,0 +1,162 @@
+// Command dsr-top is a console top for a DSR deployment: it polls the
+// coordinator's /fleet endpoint and renders rate deltas — coordinator
+// QPS and latency quantiles, per-partition RPC rates, server-side p99,
+// retry totals, and live replica counts — as a refreshing table.
+//
+//	dsr-top -fleet http://127.0.0.1:6060/fleet
+//	dsr-top -fleet http://127.0.0.1:6060/fleet -interval 2s
+//	dsr-top -fleet http://127.0.0.1:6060/fleet -once   # one table, no refresh
+//
+// Rates are computed from consecutive /fleet snapshots (counter deltas
+// over the poll interval), so the first refresh shows totals and every
+// later one shows per-second rates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"dsr/internal/obs"
+	"dsr/internal/obs/fleet"
+)
+
+func main() {
+	var (
+		fleetURL = flag.String("fleet", "http://127.0.0.1:6060/fleet", "coordinator /fleet endpoint to poll")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "print one snapshot and exit (no rates, no screen clearing)")
+	)
+	flag.Parse()
+
+	cur, err := poll(*fleetURL)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsr-top: %v\n", err)
+		os.Exit(1)
+	}
+	if *once {
+		render(os.Stdout, nil, cur, 0)
+		return
+	}
+	prev := cur
+	for {
+		time.Sleep(*interval)
+		cur, err = poll(*fleetURL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsr-top: %v\n", err)
+			os.Exit(1)
+		}
+		// ANSI home+clear so the table refreshes in place.
+		fmt.Print("\x1b[H\x1b[2J")
+		render(os.Stdout, prev, cur, *interval)
+		prev = cur
+	}
+}
+
+// poll fetches one fleet snapshot.
+func poll(url string) (*fleet.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var snap fleet.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("GET %s: %v", url, err)
+	}
+	return &snap, nil
+}
+
+// partRe extracts the partition label from names like
+// "dsr_rpc_total{partition=2}".
+var partRe = regexp.MustCompile(`^([a-z_]+)\{partition=(\d+)\}$`)
+
+// counterDelta is (cur-prev)/dt as a rate; with no prev (first frame,
+// -once) it returns the current total unscaled.
+func counterDelta(prev, cur uint64, dt time.Duration) float64 {
+	if dt <= 0 {
+		return float64(cur)
+	}
+	if cur < prev { // counter reset (coordinator restarted)
+		prev = 0
+	}
+	return float64(cur-prev) / dt.Seconds()
+}
+
+// render writes one frame of the fleet table: coordinator QPS and
+// latency, then one row per partition with RPC rate, server-side p99,
+// cumulative retries, and live/configured replicas. prev may be nil
+// (first frame), in which case rate columns show totals.
+func render(w io.Writer, prev, cur *fleet.Snapshot, dt time.Duration) {
+	rates := dt > 0 && prev != nil
+	perSec := func(name string) float64 {
+		var p uint64
+		if prev != nil {
+			p = prev.Coordinator.Counters[name]
+		}
+		return counterDelta(p, cur.Coordinator.Counters[name], dt)
+	}
+	unit := "total"
+	if rates {
+		unit = "/s"
+	}
+	lat := cur.Coordinator.Histograms["dsr_query_latency_ns"]
+	fmt.Fprintf(w, "dsr-top — queries %.1f%s  p50 %v  p99 %v  build %s\n",
+		perSec("dsr_queries_total"), unit,
+		time.Duration(lat.P50), time.Duration(lat.P99),
+		cur.Coordinator.Build.GoVersion)
+
+	// Partition set: whatever the coordinator has per-partition RPC
+	// counters for, plus every shard the fleet snapshot lists.
+	parts := map[int]bool{}
+	for name := range cur.Coordinator.Counters {
+		if m := partRe.FindStringSubmatch(name); m != nil {
+			var p int
+			fmt.Sscanf(m[2], "%d", &p)
+			parts[p] = true
+		}
+	}
+	live := map[int]int{}
+	replicas := map[int]int{}
+	for _, st := range cur.Shards {
+		parts[st.Partition] = true
+		replicas[st.Partition]++
+		if st.Live && st.Error == "" {
+			live[st.Partition]++
+		}
+	}
+	order := make([]int, 0, len(parts))
+	for p := range parts {
+		order = append(order, p)
+	}
+	sort.Ints(order)
+
+	fmt.Fprintf(w, "%-10s %12s %14s %10s %9s\n",
+		"partition", "rpc"+unit, "server p99", "retries", "replicas")
+	fmt.Fprintln(w, strings.Repeat("-", 60))
+	for _, p := range order {
+		serverP99 := cur.Coordinator.Histograms[obs.Name("dsr_rpc_server_ns", "partition", p)].P99
+		retries := cur.Coordinator.Counters[obs.Name("shard_retries_total", "partition", p)]
+		fmt.Fprintf(w, "%-10d %12.1f %14v %10d %5d/%d\n",
+			p,
+			perSec(obs.Name("dsr_rpc_total", "partition", p)),
+			time.Duration(serverP99),
+			retries,
+			live[p], replicas[p])
+	}
+	for _, st := range cur.Shards {
+		if st.Error != "" {
+			fmt.Fprintf(w, "! p%d/r%d (%s): %s\n", st.Partition, st.Replica, st.Addr, st.Error)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dsr/internal/obs"
+	"dsr/internal/obs/fleet"
+)
+
+func snapshotAt(queries, rpc0 uint64) *fleet.Snapshot {
+	coord := obs.Snapshot{
+		Build:    obs.BuildInfo{GoVersion: "go1.22"},
+		Counters: map[string]uint64{},
+		Gauges:   map[string]int64{},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"dsr_query_latency_ns":                        {Count: queries, P50: 1000, P99: 5000},
+			obs.Name("dsr_rpc_server_ns", "partition", 0): {Count: rpc0, P99: 700},
+		},
+	}
+	coord.Counters["dsr_queries_total"] = queries
+	coord.Counters[obs.Name("dsr_rpc_total", "partition", 0)] = rpc0
+	coord.Counters[obs.Name("dsr_rpc_total", "partition", 1)] = rpc0 / 2
+	coord.Counters[obs.Name("shard_retries_total", "partition", 0)] = 3
+	return &fleet.Snapshot{
+		Coordinator: coord,
+		Shards: []fleet.ShardStatus{
+			{Partition: 0, Replica: 0, Live: true},
+			{Partition: 0, Replica: 1, Live: true},
+			{Partition: 1, Replica: 0, Live: true},
+			{Partition: 1, Replica: 1, Live: false, Error: "connection refused", Addr: "h:7001"},
+		},
+	}
+}
+
+func TestRenderRates(t *testing.T) {
+	prev := snapshotAt(100, 40)
+	cur := snapshotAt(150, 60)
+	var b strings.Builder
+	render(&b, prev, cur, 10*time.Second)
+	out := b.String()
+
+	// 50 queries over 10s → 5.0/s; 20 rpcs on partition 0 → 2.0/s.
+	for _, want := range []string{
+		"queries 5.0/s",
+		"p99 5µs",
+		"2.0", // partition 0 rpc rate
+		"700ns",
+		"2/2", // partition 0 replicas
+		"1/2", // partition 1 replicas
+		"! p1/r1 (h:7001): connection refused",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "0 ") || strings.HasPrefix(line, "1 ") {
+			rows++
+		}
+	}
+	if rows != 2 {
+		t.Errorf("got %d partition rows, want 2:\n%s", rows, out)
+	}
+}
+
+// TestRenderFirstFrame: with no previous snapshot the table must show
+// totals, not rates (and not divide by zero).
+func TestRenderFirstFrame(t *testing.T) {
+	var b strings.Builder
+	render(&b, nil, snapshotAt(100, 40), 0)
+	out := b.String()
+	if !strings.Contains(out, "queries 100.0total") {
+		t.Errorf("first frame should show totals:\n%s", out)
+	}
+}
+
+// TestCounterDeltaReset: a restarted coordinator's counters go
+// backwards; the rate must clamp to the new total, never underflow.
+func TestCounterDeltaReset(t *testing.T) {
+	if got := counterDelta(500, 10, time.Second); got != 10 {
+		t.Errorf("counterDelta after reset = %v, want 10", got)
+	}
+	if got := counterDelta(10, 30, 2*time.Second); got != 10 {
+		t.Errorf("counterDelta = %v, want 10/s", got)
+	}
+}
+
+// TestPollDecodes exercises the HTTP path against a fake /fleet.
+func TestPollDecodes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(snapshotAt(7, 3))
+	}))
+	defer srv.Close()
+	snap, err := poll(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Coordinator.Counters["dsr_queries_total"] != 7 {
+		t.Errorf("decoded snapshot = %+v", snap.Coordinator.Counters)
+	}
+	bad := httptest.NewServer(http.NotFoundHandler())
+	defer bad.Close()
+	if _, err := poll(bad.URL); err == nil {
+		t.Error("poll of a 404 endpoint did not fail")
+	}
+}

@@ -1,0 +1,217 @@
+// Command metricssmoke is the CI driver behind `make metrics-smoke`:
+// it builds the real binaries, boots a k=2 dsr-shard fleet over
+// loopback TCP with every process serving -metrics-addr, runs one
+// query through dsr-query, and then asserts that
+//
+//   - GET /metrics on the coordinator parses as JSON with the
+//     build/counters/gauges/histograms sections, and
+//   - GET /fleet parses as a merged fleet snapshot listing both
+//     shards, each scraped cleanly with its own registry attached.
+//
+// Run it from the repository root; it exits non-zero with a reason on
+// the first broken invariant.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"dsr/internal/obs/fleet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("metrics-smoke: ok")
+}
+
+var (
+	servingRe = regexp.MustCompile(`serving on (\S+)`)
+	metricsRe = regexp.MustCompile(`metrics on (http://\S+/metrics)`)
+)
+
+// waitLine scans lines from r until re matches, returning the first
+// capture group. It gives up after 30s.
+func waitLine(r io.Reader, re *regexp.Regexp, what string) (string, error) {
+	found := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			if m := re.FindStringSubmatch(sc.Text()); m != nil {
+				found <- m[1]
+				return
+			}
+		}
+	}()
+	select {
+	case s := <-found:
+		return s, nil
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for %s", what)
+	}
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("GET %s: not valid JSON: %v", url, err)
+	}
+	return nil
+}
+
+func run() error {
+	bin, err := os.MkdirTemp("", "metrics-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bin)
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/dsr-shard", "./cmd/dsr-query").CombinedOutput(); err != nil {
+		return fmt.Errorf("go build: %v\n%s", err, out)
+	}
+	graphPath := filepath.Join("internal", "graph", "testdata", "tiny.txt")
+	if _, err := os.Stat(graphPath); err != nil {
+		return fmt.Errorf("run from the repository root: %v", err)
+	}
+
+	// Boot the k=2 fleet, each shard with its own ops endpoint.
+	const k = 2
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+	shardAddrs := make([]string, k)
+	shards := make([]*exec.Cmd, k)
+	for p := 0; p < k; p++ {
+		cmd := exec.Command(filepath.Join(bin, "dsr-shard"),
+			"-graph", graphPath, "-shards", fmt.Sprint(k), "-id", fmt.Sprint(p),
+			"-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		procs = append(procs, cmd)
+		shards[p] = cmd
+		if shardAddrs[p], err = waitLine(stderr, servingRe, fmt.Sprintf("shard %d address", p)); err != nil {
+			return err
+		}
+	}
+
+	query := exec.Command(filepath.Join(bin, "dsr-query"),
+		"-shards", strings.Join(shardAddrs, ","), "-metrics-addr", "127.0.0.1:0")
+	qerr, err := query.StderrPipe()
+	if err != nil {
+		return err
+	}
+	stdin, err := query.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := query.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := query.Start(); err != nil {
+		return err
+	}
+	procs = append(procs, query)
+	metricsURL, err := waitLine(qerr, metricsRe, "coordinator metrics endpoint")
+	if err != nil {
+		return err
+	}
+
+	// One answered query so the counters below describe real traffic.
+	if _, err := io.WriteString(stdin, "0 | 7\n"); err != nil {
+		return err
+	}
+	answer, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("read answer: %v", err)
+	}
+	if got := strings.TrimSpace(answer); got != "true" && got != "false" {
+		return fmt.Errorf("query answered %q, want true/false", got)
+	}
+
+	// /metrics: a JSON document with all four registry sections.
+	var doc map[string]json.RawMessage
+	if err := getJSON(metricsURL, &doc); err != nil {
+		return err
+	}
+	for _, key := range []string{"build", "counters", "gauges", "histograms"} {
+		if _, ok := doc[key]; !ok {
+			return fmt.Errorf("/metrics JSON missing %q section", key)
+		}
+	}
+	var build struct {
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal(doc["build"], &build); err != nil || build.GoVersion == "" {
+		return fmt.Errorf("/metrics build section unusable (%v): %s", err, doc["build"])
+	}
+
+	// /fleet: both shards merged, scraped cleanly, registries attached.
+	fleetURL := strings.TrimSuffix(metricsURL, "/metrics") + "/fleet"
+	var snap fleet.Snapshot
+	if err := getJSON(fleetURL, &snap); err != nil {
+		return err
+	}
+	if snap.Coordinator.Counters["dsr_queries_total"] == 0 {
+		return fmt.Errorf("/fleet coordinator section shows no queries")
+	}
+	if len(snap.Shards) != k {
+		return fmt.Errorf("/fleet lists %d shards, want %d", len(snap.Shards), k)
+	}
+	for i, st := range snap.Shards {
+		if st.Partition != i {
+			return fmt.Errorf("/fleet shard %d has partition %d (not sorted?)", i, st.Partition)
+		}
+		if !st.Live || st.Error != "" || st.Metrics == nil {
+			return fmt.Errorf("/fleet shard %d not scraped cleanly: live=%v err=%q", i, st.Live, st.Error)
+		}
+		if st.Metrics.Build.GoVersion == "" {
+			return fmt.Errorf("/fleet shard %d snapshot missing build info", i)
+		}
+	}
+
+	// Clean teardown: the coordinator exits 0 on EOF, shards on SIGTERM.
+	stdin.Close()
+	if err := query.Wait(); err != nil {
+		return fmt.Errorf("dsr-query exited non-zero: %v", err)
+	}
+	for p, cmd := range shards {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("shard %d did not drain cleanly: %v", p, err)
+		}
+	}
+	procs = nil
+	return nil
+}
