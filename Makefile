@@ -21,8 +21,9 @@ COVER_MIN_DSR ?= 87.0
 COVER_MIN_WIRE ?= 85.0
 COVER_MIN_OBS ?= 85.0
 COVER_MIN_FLEET ?= 85.0
+COVER_MIN_SERVE ?= 85.0
 
-.PHONY: build test test-e2e vet fmt fmt-check lint bench bench-smoke bench-json bench-baseline bench-gate cover-gate fuzz-smoke metrics-smoke vulncheck
+.PHONY: build test test-e2e vet fmt fmt-check lint bench bench-smoke bench-json bench-baseline bench-gate cover-gate fuzz-smoke metrics-smoke serve-smoke doc-check vulncheck
 
 build:
 	$(GO) build ./...
@@ -43,9 +44,9 @@ test-e2e:
 # above. A failing test or a coverage drop past the minimum fails the
 # target; raise the minima when coverage rises for keeps.
 cover-gate:
-	@out="$$($(GO) test -count=1 -cover ./internal/shard ./internal/shard/chaos ./internal/dsr ./internal/wire ./internal/obs ./internal/obs/fleet)"; \
+	@out="$$($(GO) test -count=1 -cover ./internal/shard ./internal/shard/chaos ./internal/dsr ./internal/wire ./internal/obs ./internal/obs/fleet ./internal/serve)"; \
 	status=$$?; echo "$$out"; \
-	echo "$$out" | awk -v ms=$(COVER_MIN_SHARD) -v mc=$(COVER_MIN_CHAOS) -v md=$(COVER_MIN_DSR) -v mw=$(COVER_MIN_WIRE) -v mo=$(COVER_MIN_OBS) -v mf=$(COVER_MIN_FLEET) ' \
+	echo "$$out" | awk -v ms=$(COVER_MIN_SHARD) -v mc=$(COVER_MIN_CHAOS) -v md=$(COVER_MIN_DSR) -v mw=$(COVER_MIN_WIRE) -v mo=$(COVER_MIN_OBS) -v mf=$(COVER_MIN_FLEET) -v mv=$(COVER_MIN_SERVE) ' \
 		$$1 == "FAIL" { fail = 1 } \
 		/coverage:/ { \
 			pct = ""; for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { pct = $$i; gsub("%", "", pct) } \
@@ -56,13 +57,14 @@ cover-gate:
 			if ($$2 == "dsr/internal/wire") min = mw; \
 			if ($$2 == "dsr/internal/obs") min = mo; \
 			if ($$2 == "dsr/internal/obs/fleet") min = mf; \
+			if ($$2 == "dsr/internal/serve") min = mv; \
 			if (min >= 0) { \
 				seen++; \
 				if (pct + 0 < min + 0) { printf "cover-gate: %s %.1f%% < %.1f%% minimum\n", $$2, pct, min; fail = 1 } \
 				else printf "cover-gate: %s %.1f%% (minimum %.1f%%)\n", $$2, pct, min \
 			} \
 		} \
-		END { if (seen != 6) { printf "cover-gate: expected 6 coverage lines, saw %d\n", seen; fail = 1 }; exit fail }' \
+		END { if (seen != 7) { printf "cover-gate: expected 7 coverage lines, saw %d\n", seen; fail = 1 }; exit fail }' \
 	&& [ $$status -eq 0 ]
 
 vet:
@@ -146,6 +148,20 @@ fuzz-smoke:
 # driver lives in tools/metricssmoke and must run from the repo root.
 metrics-smoke:
 	$(GO) run ./tools/metricssmoke
+
+# Serving-layer smoke: build the real binaries, boot a k=2 fleet with
+# dsr-serve in front, run queries through the serving protocol, and
+# assert the cache hit and serving counters on /metrics plus a clean
+# SIGTERM drain. The driver lives in tools/servesmoke and must run from
+# the repo root.
+serve-smoke:
+	$(GO) run ./tools/servesmoke
+
+# Godoc hygiene gate: every package must carry a package comment, and
+# the packages tools/doccheck lists as strict (internal/serve) must
+# document every exported symbol.
+doc-check:
+	$(GO) run ./tools/doccheck
 
 # Scan dependencies and stdlib usage against the Go vulnerability
 # database (network access required; CI installs the tool pinned).

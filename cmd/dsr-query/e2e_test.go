@@ -63,9 +63,7 @@ func TestBinariesTCPEndToEnd(t *testing.T) {
 					args = append(args, "-batch")
 				}
 				out, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"), args, queries, os.Stderr)
-				if code != 0 {
-					t.Fatalf("dsr-query (batch=%v) exit code %d", batch, code)
-				}
+				wantExit(t, fmt.Sprintf("clean session (batch=%v)", batch), code, exitOK)
 				if out != want {
 					t.Errorf("dsr-query (batch=%v) output:\n%swant:\n%s", batch, out, want)
 				}
@@ -83,9 +81,7 @@ func TestBinariesTCPEndToEnd(t *testing.T) {
 		var stderr strings.Builder
 		_, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"),
 			[]string{"-shards", strings.Join(mixed, ",")}, "0 | 7", &stderr)
-		if code != 3 {
-			t.Errorf("mixed fleet: exit code %d, want 3\nstderr:\n%s", code, stderr.String())
-		}
+		wantExit(t, "mixed fleet", code, exitMismatch)
 		if !strings.Contains(stderr.String(), "fleet mismatch") {
 			t.Errorf("mismatch error does not name the fleet mismatch:\n%s", stderr.String())
 		}
@@ -97,9 +93,7 @@ func TestBinariesTCPEndToEnd(t *testing.T) {
 		var stderr strings.Builder
 		_, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"),
 			[]string{"-graph", graphPath, "-shards", "127.0.0.1:1"}, "", &stderr)
-		if code != 2 {
-			t.Errorf("-graph with -shards: exit code %d, want 2\nstderr:\n%s", code, stderr.String())
-		}
+		wantExit(t, "-graph with -shards", code, exitUsage)
 		if !strings.Contains(stderr.String(), "cannot be combined with -shards") {
 			t.Errorf("usage error does not explain the conflict:\n%s", stderr.String())
 		}
@@ -117,9 +111,7 @@ func TestBinariesTCPEndToEnd(t *testing.T) {
 			var stderr strings.Builder
 			out, code := runQueryBinary(t, filepath.Join(bin, "dsr-query"), args,
 				"0 | 7\nbogus line\n7 | 0", &stderr)
-			if code == 0 {
-				t.Errorf("batch=%v: exit code 0 on malformed input", batch)
-			}
+			wantExit(t, fmt.Sprintf("malformed input (batch=%v)", batch), code, exitPartial)
 			if want := "true\nfalse\n"; out != want {
 				t.Errorf("batch=%v: output %q, want %q", batch, out, want)
 			}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+// exitCodeName names a code from the exit-code contract so failures
+// read as the contract, not as bare integers.
+func exitCodeName(code int) string {
+	switch code {
+	case exitOK:
+		return "exitOK"
+	case exitPartial:
+		return "exitPartial"
+	case exitUsage:
+		return "exitUsage"
+	case exitMismatch:
+		return "exitMismatch"
+	default:
+		return "unknown"
+	}
+}
+
+// wantExit is the one place tests assert an observed exit code —
+// whether from runQueries or from a real dsr-query process — against
+// the contract defined in main.go and documented in README.md ("Exit
+// codes"). Routing every assertion through it keeps the constants, the
+// table, and the tests from drifting apart.
+func wantExit(t *testing.T, what string, got, want int) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s: exit code = %d (%s), want %d (%s)",
+			what, got, exitCodeName(got), want, exitCodeName(want))
+	}
+}
+
+// TestExitCodeContract pins the constants to the values the README
+// table documents: scripts in the wild branch on the raw integers, so
+// renumbering them is a breaking change this test makes loud.
+func TestExitCodeContract(t *testing.T) {
+	contract := []struct {
+		code int
+		want int
+		name string
+	}{
+		{exitOK, 0, "exitOK"},
+		{exitPartial, 1, "exitPartial"},
+		{exitUsage, 2, "exitUsage"},
+		{exitMismatch, 3, "exitMismatch"},
+	}
+	for _, c := range contract {
+		if c.code != c.want {
+			t.Errorf("%s = %d, want %d (README.md exit-code table)", c.name, c.code, c.want)
+		}
+	}
+}

@@ -59,6 +59,17 @@ import (
 	"dsr/internal/partition/locality"
 )
 
+// The process exit-code contract, documented in README.md ("Exit
+// codes") and shared by dsr-serve. Tests assert observed codes through
+// the wantExit helper (exitcode_test.go), so the table, the constants,
+// and every assertion stay one definition.
+const (
+	exitOK       = 0 // every line parsed, every query answered
+	exitPartial  = 1 // partial or runtime failure: malformed lines skipped, queries failed on unavailable partitions, connect/IO errors
+	exitUsage    = 2 // flag misuse: bad flag values, or graph-describing flags combined with -shards
+	exitMismatch = 3 // misassembled fleet: shards disagree about graph/partitioning (core.MismatchError)
+)
+
 func main() {
 	var (
 		graphPath      = flag.String("graph", "", "edge-list file for in-process mode: one 'u v' pair per line (forbidden with -shards)")
@@ -76,7 +87,7 @@ func main() {
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsr-query: -log-level: %v\n", err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	logger := obs.StderrLogger(level).With("component", "dsr-query")
 	reg := obs.NewRegistry()
@@ -109,7 +120,7 @@ func main() {
 		ops, err = obs.StartOps(*metricsAddr, reg, obs.Mount{Pattern: "/fleet", Handler: agg.Handler()})
 		if err != nil {
 			logger.Errorf("metrics-addr: %v", err)
-			os.Exit(1)
+			os.Exit(exitPartial)
 		}
 		logger.Infof("metrics on http://%s/metrics (fleet view at /fleet, pprof under /debug/pprof/)", ops.Addr())
 	}
@@ -129,7 +140,7 @@ func main() {
 		if len(rejected) > 0 {
 			fmt.Fprintf(os.Stderr, "dsr-query: %s cannot be combined with -shards: the coordinator is graph-free and learns the deployment from the shard fleet\n",
 				strings.Join(rejected, ", "))
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *connectTimeout)
 		eng, err = core.Connect(ctx, core.ClusterSpec{
@@ -145,9 +156,9 @@ func main() {
 			if errors.As(err, &me) {
 				// The shards disagree with each other about the deployment —
 				// a misassembled fleet, distinct from any transport failure.
-				os.Exit(3)
+				os.Exit(exitMismatch)
 			}
-			os.Exit(1)
+			os.Exit(exitPartial)
 		}
 		logger.Infof("connected to %d shards, %d boundary vertices, %d coordinator-resident bytes",
 			eng.NumPartitions(), eng.NumBoundary(), eng.ResidentBytes())
@@ -155,17 +166,17 @@ func main() {
 		if *graphPath == "" {
 			fmt.Fprintln(os.Stderr, "dsr-query: -graph is required (in-process mode) or -shards (distributed mode)")
 			flag.Usage()
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		strat, err := locality.ParseSpec(*partitioner)
 		if err != nil {
 			logger.Errorf("-partitioner: %v", err)
-			os.Exit(1)
+			os.Exit(exitPartial)
 		}
 		g, err := graph.LoadEdgeListFile(*graphPath)
 		if err != nil {
 			logger.Errorf("load graph: %v", err)
-			os.Exit(1)
+			os.Exit(exitPartial)
 		}
 		eng, err = core.Build(g, core.Options{
 			K: *k, Partitioner: strat,
@@ -173,7 +184,7 @@ func main() {
 		})
 		if err != nil {
 			logger.Errorf("build engine: %v", err)
-			os.Exit(1)
+			os.Exit(exitPartial)
 		}
 		logger.Infof("in-process engine: %d %s-partitioned partitions, %d boundary vertices",
 			eng.NumPartitions(), strat.Name(), eng.NumBoundary())
@@ -276,7 +287,7 @@ func runQueries(eng engine, in io.Reader, out, errw io.Writer, batch bool, healt
 			continue
 		}
 		if !emit([]core.Query{q}) {
-			return 1
+			return exitPartial
 		}
 		// Interactive mode answers as it goes: flush per line so a piped
 		// driver sees each answer before sending the next query.
@@ -284,10 +295,10 @@ func runQueries(eng engine, in io.Reader, out, errw io.Writer, batch bool, healt
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(errw, "dsr-query: read input: %v\n", err)
-		return 1
+		return exitPartial
 	}
 	if batch && len(queries) > 0 && !emit(queries) {
-		return 1
+		return exitPartial
 	}
 	if badLines > 0 {
 		fmt.Fprintf(errw, "dsr-query: %d malformed line(s) skipped\n", badLines)
@@ -296,9 +307,9 @@ func runQueries(eng engine, in io.Reader, out, errw io.Writer, batch bool, healt
 		fmt.Fprintf(errw, "dsr-query: %d query(ies) failed on unavailable partitions\n", failedQueries)
 	}
 	if badLines > 0 || failedQueries > 0 {
-		return 1
+		return exitPartial
 	}
-	return 0
+	return exitOK
 }
 
 // parseQuery parses "s1 s2 ... | t1 t2 ..." into a Query.

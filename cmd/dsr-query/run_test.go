@@ -46,9 +46,7 @@ func TestRunQueriesMalformedLines(t *testing.T) {
 		}, "\n"))
 		var out, errw strings.Builder
 		code := runQueries(eng, in, &out, &errw, batch, nil)
-		if code == 0 {
-			t.Errorf("batch=%v: exit code 0 despite malformed lines", batch)
-		}
+		wantExit(t, fmt.Sprintf("malformed lines (batch=%v)", batch), code, exitPartial)
 		if got, want := out.String(), "true\nfalse\n"; got != want {
 			t.Errorf("batch=%v: stdout = %q, want %q", batch, got, want)
 		}
@@ -66,9 +64,8 @@ func TestRunQueriesCleanInput(t *testing.T) {
 		eng := tinyEngine(t)
 		in := strings.NewReader("# comment\n\n0 | 7\n4 | 4\n")
 		var out, errw strings.Builder
-		if code := runQueries(eng, in, &out, &errw, batch, nil); code != 0 {
-			t.Errorf("batch=%v: exit code %d on clean input, stderr: %s", batch, code, errw.String())
-		}
+		code := runQueries(eng, in, &out, &errw, batch, nil)
+		wantExit(t, fmt.Sprintf("clean input (batch=%v)", batch), code, exitOK)
 		if got, want := out.String(), "true\ntrue\n"; got != want {
 			t.Errorf("batch=%v: stdout = %q, want %q", batch, got, want)
 		}
@@ -148,9 +145,7 @@ func TestRunQueriesPartialOutage(t *testing.T) {
 		}, "\n"))
 		var out, errw strings.Builder
 		code := runQueries(eng, in, &out, &errw, batch, nil)
-		if code == 0 {
-			t.Errorf("batch=%v: exit code 0 despite failed queries", batch)
-		}
+		wantExit(t, fmt.Sprintf("failed queries (batch=%v)", batch), code, exitPartial)
 		if want := "true\ntrue\nerror\nerror\n"; out.String() != want {
 			t.Errorf("batch=%v: stdout = %q, want %q", batch, out.String(), want)
 		}

@@ -38,8 +38,8 @@ func TestHealthSummaryOnBothEndings(t *testing.T) {
 		err      error
 		wantCode int
 	}{
-		{name: "clean ending", err: nil, wantCode: 0},
-		{name: "error ending", err: errors.New("transport exploded"), wantCode: 1},
+		{name: "clean ending", err: nil, wantCode: exitOK},
+		{name: "error ending", err: errors.New("transport exploded"), wantCode: exitPartial},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -54,9 +54,7 @@ func TestHealthSummaryOnBothEndings(t *testing.T) {
 				fmt.Fprintf(&health, format+"\n", args...)
 			}
 			code := runQueries(eng, strings.NewReader("0 | 1\n"), &out, &errw, false, logf)
-			if code != tc.wantCode {
-				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, errw.String())
-			}
+			wantExit(t, tc.name, code, tc.wantCode)
 			want := "partition 0: 1/2 replicas live, retries=3 failovers=1 redials=2"
 			if !strings.Contains(health.String(), want) {
 				t.Errorf("health summary missing %q, got:\n%s", want, health.String())
@@ -73,9 +71,8 @@ func TestHealthSummaryOnBothEndings(t *testing.T) {
 func TestHealthSummaryNilLogger(t *testing.T) {
 	var out, errw strings.Builder
 	eng := &fakeEngine{health: []core.PartitionHealth{{Partition: 0}}}
-	if code := runQueries(eng, strings.NewReader("0 | 1\n"), &out, &errw, false, nil); code != 0 {
-		t.Errorf("exit code = %d, want 0", code)
-	}
+	code := runQueries(eng, strings.NewReader("0 | 1\n"), &out, &errw, false, nil)
+	wantExit(t, "nil health logger", code, exitOK)
 	if errw.Len() != 0 {
 		t.Errorf("unexpected stderr: %s", errw.String())
 	}

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dsr/internal/graph"
+	"dsr/internal/serve"
+	"dsr/internal/shard/chaos"
+)
+
+// TestServeBinaryEndToEnd builds the real dsr-shard and dsr-serve
+// binaries and proves the four serving-layer claims against a live TCP
+// deployment: two clients' queries share one engine batch, a repeated
+// query is answered from the cache, a saturated server sheds with the
+// typed overload response, and with a chaos-delayed replica hedges
+// fire while every answer stays correct. Plus the contract edges:
+// missing -shards is a usage error (exit 2) and SIGTERM drains to exit
+// 0.
+func TestServeBinaryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./...")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	graphPath, err := filepath.Abs(filepath.Join("..", "..", "internal", "graph", "testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("flag-misuse", func(t *testing.T) {
+		var stderr strings.Builder
+		cmd := exec.Command(filepath.Join(bin, "dsr-serve"))
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		var ee *exec.ExitError
+		if !isExit(err, &ee) || ee.ExitCode() != 2 {
+			t.Fatalf("no -shards: %v, want exit 2\nstderr:\n%s", err, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "-shards is required") {
+			t.Fatalf("usage error does not name -shards:\n%s", stderr.String())
+		}
+	})
+
+	shardAddrs := bootShardFleet(t, bin, graphPath, 3, "hash")
+	fleetSpec := strings.Join(shardAddrs, ",")
+
+	t.Run("cross-client-batching", func(t *testing.T) {
+		// A 5s window with MaxBatch 2 means the only way both clients
+		// get answers promptly is by sharing one batch: the second
+		// arrival is what makes the batch depart.
+		sv := startServe(t, bin, "-shards", fleetSpec,
+			"-batch-window", "5s", "-batch-max", "2", "-cache", "-1")
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(v graph.VertexID) {
+				defer wg.Done()
+				c, err := serve.Dial(sv.addr)
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				defer c.Close()
+				ans, err := c.Query([]graph.VertexID{v}, []graph.VertexID{7})
+				if err != nil || !ans {
+					t.Errorf("client %d: (%v, %v), want true", v, ans, err)
+				}
+			}(graph.VertexID(i))
+		}
+		wg.Wait()
+		counters := scrapeCounters(t, sv.metricsAddr)
+		if got := counters["dsr_serve_batches_total"]; got != 1 {
+			t.Errorf("dsr_serve_batches_total = %d, want 1 shared batch", got)
+		}
+		if got := counters["dsr_serve_queries_total"]; got != 2 {
+			t.Errorf("dsr_serve_queries_total = %d, want 2", got)
+		}
+		sv.drain(t)
+	})
+
+	t.Run("cache-hit", func(t *testing.T) {
+		sv := startServe(t, bin, "-shards", fleetSpec)
+		c, err := serve.Dial(sv.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 2; i++ {
+			if ans, err := c.Query([]graph.VertexID{0}, []graph.VertexID{7}); err != nil || !ans {
+				t.Fatalf("query %d: (%v, %v), want true", i, ans, err)
+			}
+		}
+		// Same sets, different order: still one cache key.
+		if ans, err := c.Query([]graph.VertexID{7, 0}, []graph.VertexID{7}); err != nil || !ans {
+			t.Fatalf("permuted query: (%v, %v), want true", ans, err)
+		}
+		counters := scrapeCounters(t, sv.metricsAddr)
+		if got := counters["dsr_cache_hits_total"]; got < 1 {
+			t.Errorf("dsr_cache_hits_total = %d, want >= 1", got)
+		}
+		sv.drain(t)
+	})
+
+	t.Run("load-shedding", func(t *testing.T) {
+		// One admission slot per client and a window long enough to pin
+		// it: a pipeline of 3 gets exactly one answer and two typed
+		// overload rejections.
+		sv := startServe(t, bin, "-shards", fleetSpec,
+			"-batch-window", "300ms", "-max-per-client", "1", "-cache", "-1")
+		c, err := serve.Dial(sv.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 3; i++ {
+			if err := c.Send([]graph.VertexID{0}, []graph.VertexID{graph.VertexID(5 + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ans, err := c.Recv(); err != nil || !ans {
+			t.Fatalf("admitted query: (%v, %v), want true", ans, err)
+		}
+		for i := 0; i < 2; i++ {
+			_, err := c.Recv()
+			oe, ok := err.(*serve.OverloadError)
+			if !ok || oe.Scope != "client" {
+				t.Fatalf("shed query %d: err = %v, want OverloadError{client}", i, err)
+			}
+		}
+		counters := scrapeCounters(t, sv.metricsAddr)
+		if got := counters["dsr_serve_shed_total{scope=client}"]; got != 2 {
+			t.Errorf("client sheds = %d, want 2", got)
+		}
+		sv.drain(t)
+	})
+
+	t.Run("hedging", func(t *testing.T) {
+		// R=2 per partition: the second replica sits behind a chaos
+		// proxy that delays every frame up to 30ms. With round-robin
+		// replica pick, about half the rounds land on the slow primary;
+		// a 10ms hedge ceiling re-sends those to the fast sibling.
+		slowAddrs := bootShardFleet(t, bin, graphPath, 3, "hash")
+		groups := make([]string, 3)
+		for p := 0; p < 3; p++ {
+			proxy, err := chaos.NewProxy(slowAddrs[p], chaos.ProxyOptions{
+				Seed: int64(100 + p), DelayProb: 1, MaxDelay: 30 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { proxy.Close() })
+			groups[p] = shardAddrs[p] + "|" + proxy.Addr()
+		}
+		sv := startServe(t, bin, "-shards", strings.Join(groups, ","),
+			"-cache", "-1", "-hedge", "-hedge-max", "10ms", "-hedge-min", "1ms")
+		c, err := serve.Dial(sv.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		// tiny.txt: 0 reaches 7 across the bridge, 7 never reaches 0.
+		for i := 0; i < 30; i++ {
+			if ans, err := c.Query([]graph.VertexID{0}, []graph.VertexID{7}); err != nil || !ans {
+				t.Fatalf("round %d: 0->7 = (%v, %v), want true", i, ans, err)
+			}
+			if ans, err := c.Query([]graph.VertexID{7}, []graph.VertexID{0}); err != nil || ans {
+				t.Fatalf("round %d: 7->0 = (%v, %v), want false", i, ans, err)
+			}
+		}
+		counters := scrapeCounters(t, sv.metricsAddr)
+		var hedges uint64
+		for p := 0; p < 3; p++ {
+			hedges += counters[fmt.Sprintf("dsr_hedges_total{partition=%d}", p)]
+		}
+		if hedges == 0 {
+			t.Error("no hedge fired despite a delayed replica and a 10ms ceiling")
+		}
+		sv.drain(t)
+	})
+}
+
+// serveProc is one running dsr-serve process plus its parsed addresses.
+type serveProc struct {
+	cmd         *exec.Cmd
+	addr        string // query protocol
+	metricsAddr string
+}
+
+// startServe boots dsr-serve with a metrics endpoint and waits for it
+// to announce both listeners; the process is killed on test cleanup if
+// drain wasn't called.
+func startServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	args = append(args, "-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
+	cmd := exec.Command(filepath.Join(bin, "dsr-serve"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	proc := cmd.Process
+	t.Cleanup(func() { proc.Kill(); cmd.Wait() })
+
+	serveRe := regexp.MustCompile(`serving on (\S+)`)
+	metricsRe := regexp.MustCompile(`metrics on http://(\S+)/metrics`)
+	sv := &serveProc{cmd: cmd}
+	readyc := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := metricsRe.FindStringSubmatch(line); m != nil {
+				sv.metricsAddr = m[1]
+			}
+			if m := serveRe.FindStringSubmatch(line); m != nil {
+				sv.addr = m[1]
+				close(readyc)
+				break
+			}
+		}
+		// Keep draining so the process never blocks on stderr.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case <-readyc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("dsr-serve never announced its address")
+	}
+	return sv
+}
+
+// drain sends SIGTERM and requires a clean exit — the graceful path.
+func (sv *serveProc) drain(t *testing.T) {
+	t.Helper()
+	sv.cmd.Process.Signal(syscall.SIGTERM)
+	if err := sv.cmd.Wait(); err != nil {
+		t.Fatalf("dsr-serve did not drain cleanly: %v", err)
+	}
+}
+
+// scrapeCounters fetches the ops endpoint's snapshot and returns the
+// counters map (labels rendered into the names).
+func scrapeCounters(t *testing.T, addr string) map[string]uint64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Counters
+}
+
+// bootShardFleet starts k dsr-shard processes and returns their
+// addresses; killed on test cleanup. Same harness as the dsr-query
+// e2e.
+func bootShardFleet(t *testing.T, bin, graphPath string, k int, spec string) []string {
+	t.Helper()
+	addrRe := regexp.MustCompile(`serving on (\S+)`)
+	var addrs []string
+	for i := 0; i < k; i++ {
+		cmd := exec.Command(filepath.Join(bin, "dsr-shard"),
+			"-graph", graphPath, "-shards", fmt.Sprint(k), "-id", fmt.Sprint(i),
+			"-partitioner", spec, "-listen", "127.0.0.1:0")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		proc := cmd.Process
+		t.Cleanup(func() { proc.Kill(); cmd.Wait() })
+
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+					addrCh <- m[1]
+				}
+			}
+		}()
+		select {
+		case addr := <-addrCh:
+			addrs = append(addrs, addr)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("shard %d never reported its address", i)
+		}
+	}
+	return addrs
+}
+
+// isExit reports whether err is an *exec.ExitError, filling ee.
+func isExit(err error, ee **exec.ExitError) bool {
+	if err == nil {
+		return false
+	}
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*ee = e
+	}
+	return ok
+}

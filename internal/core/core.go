@@ -43,6 +43,12 @@ type Options = dsr.Options
 // partitioning digest) and connect-progress logging.
 type ClusterSpec = dsr.ClusterSpec
 
+// HedgeOptions configures hedged shard requests for replicated
+// deployments: rounds that outlast a high quantile of a partition's
+// usual latency are re-sent to an idle sibling replica, first reply
+// wins. Sound because local searches are idempotent reads.
+type HedgeOptions = dsr.HedgeOptions
+
 // BatchError is QueryBatchErr's partial-failure report: one entry per
 // unavailable partition plus a per-query Failed mask; answers for
 // queries with Failed[i] == false remain valid.

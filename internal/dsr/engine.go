@@ -341,6 +341,18 @@ type Engine struct {
 	qs     []qstate
 	single [1]Query // reusable batch for Query
 
+	// Hedging. hedge is nil unless enabled on a sibling-capable
+	// transport; hedged replies arrive on their own channel so a
+	// duplicate can never be mistaken for a primary. pround is the
+	// hedged fan-in's per-partition ledger, reused across rounds.
+	hedge  *hedgeState
+	hedgec chan shard.Reply
+	pround []partRound
+	// stale marks the round scratch (tasks, arena, both reply channels)
+	// as still owned by straggler replies the last hedged round stopped
+	// waiting for; the next round must start from fresh memory.
+	stale bool
+
 	bvisit *partition.Marks // boundary-BFS visited marks
 	bgoal  *partition.Marks // boundary-BFS goal marks
 	bqueue []int32          // boundary-BFS queue
@@ -385,6 +397,11 @@ type Options struct {
 	// SlowQuery, if positive, logs a structured span trace (at WARN) for
 	// every batch that takes longer end to end. 0 disables.
 	SlowQuery time.Duration
+	// Hedge configures hedged shard requests. Only effective on
+	// transports with sibling replicas (ConnectTransport over a
+	// replicated transport); Build's loopback shards have none, so it is
+	// ignored there.
+	Hedge HedgeOptions
 }
 
 // Build partitions g and builds an in-process engine over it: one
@@ -464,6 +481,11 @@ type ClusterSpec struct {
 	// SlowQuery, if positive, logs a structured span trace (at WARN) for
 	// every batch that takes longer end to end. 0 disables.
 	SlowQuery time.Duration
+	// Hedge configures hedged shard requests: when a round waits past a
+	// high quantile of a partition's usual latency, the batch is re-sent
+	// to an idle sibling replica and the first reply wins. Requires
+	// replica groups; ignored (with a warning) otherwise.
+	Hedge HedgeOptions
 }
 
 // Connect joins an existing shard fleet and builds the graph-free
@@ -513,7 +535,7 @@ func Connect(ctx context.Context, spec ClusterSpec) (*Engine, error) {
 		c.Instrument(spec.Metrics)
 	}
 	e, err := connect(ctx, tr, len(groups), -1, telemetry{
-		reg: spec.Metrics, log: spec.Log, slow: spec.SlowQuery,
+		reg: spec.Metrics, log: spec.Log, slow: spec.SlowQuery, hedge: spec.Hedge,
 	})
 	if err != nil {
 		tr.Close()
@@ -522,12 +544,28 @@ func Connect(ctx context.Context, spec ClusterSpec) (*Engine, error) {
 	return e, nil
 }
 
-// telemetry bundles the observability knobs threaded from Build/Connect
-// into the engine. The zero value disables everything.
+// ConnectTransport builds the coordinator over an already-constructed
+// transport — the hook for embedders (the serving layer's harnesses,
+// chaos rigs) that assemble their own replica fleets in process via
+// shard.NewReplicated or shard.NewLoopback. k is the partition count tr
+// serves; n >= 0 pins the global vertex count, n < 0 derives it from
+// the shards' handshake identities (which fails for transports whose
+// replicas present none). Only o's telemetry and Hedge fields are
+// consulted. On success the engine owns tr (Close closes it); on error
+// the caller still owns it.
+func ConnectTransport(ctx context.Context, tr shard.Transport, k, n int, o Options) (*Engine, error) {
+	return connect(ctx, tr, k, n, telemetry{
+		reg: o.Metrics, log: o.Log, slow: o.SlowQuery, hedge: o.Hedge,
+	})
+}
+
+// telemetry bundles the observability and hedging knobs threaded from
+// Build/Connect into the engine. The zero value disables everything.
 type telemetry struct {
-	reg  *obs.Registry
-	log  *obs.Logger
-	slow time.Duration
+	reg   *obs.Registry
+	log   *obs.Logger
+	slow  time.Duration
+	hedge HedgeOptions
 }
 
 // connect is the shared back half of Build and Connect: fetch every
@@ -627,6 +665,14 @@ func newEngine(n, k int, bg *boundaryGraph, tr shard.Transport, tel telemetry) *
 		log:    tel.log,
 
 		wantTiming: tel.reg != nil || tel.slow > 0,
+	}
+	if tel.hedge.Enabled {
+		if ht, ok := tr.(hedgeTransport); ok {
+			e.hedge = newHedgeState(ht, k, tel.hedge)
+			e.hedgec = make(chan shard.Reply, k)
+		} else {
+			tel.log.Warnf("hedged requests enabled but the transport has no sibling replicas; hedging disabled")
+		}
 	}
 	e.met.partitions.Set(int64(k))
 	e.met.boundaryVerts.Set(int64(len(bg.verts)))
@@ -813,6 +859,17 @@ func (e *Engine) runBatch(queries []Query) error {
 	for len(e.qs) < len(queries) {
 		e.qs = append(e.qs, qstate{})
 	}
+	if e.stale {
+		// Stragglers from the previous hedged round still hold the old
+		// scratch: their submit goroutines may yet read the old task
+		// arena and will deliver into the old (abandoned, buffered)
+		// channels. Start this round on fresh memory and let them finish
+		// against the old.
+		e.stale = false
+		e.tasks, e.arena = nil, nil
+		e.replyc = make(chan shard.Reply, e.k)
+		e.hedgec = make(chan shard.Reply, e.k)
+	}
 	e.tasks = e.tasks[:0]
 	e.arena = e.arena[:0]
 
@@ -876,12 +933,13 @@ func (e *Engine) runBatch(queries []Query) error {
 	// Fan out: broadcast the one task batch to every shard. Which shard
 	// owns which seed is the shards' business.
 	nsub := 0
+	var hdr wire.BatchHeader
 	var tsub time.Time
 	var roundStart time.Duration
 	round := -1
 	if len(e.tasks) > 0 {
 		e.batchID++
-		hdr := wire.BatchHeader{Trace: e.wantTiming, Batch: e.batchID}
+		hdr = wire.BatchHeader{Trace: e.wantTiming, Batch: e.batchID}
 		tsub = time.Now()
 		roundStart = e.trace.Since()
 		round = e.trace.Add("round", 1, roundStart, 0, -1, len(e.tasks))
@@ -904,81 +962,10 @@ func (e *Engine) runBatch(queries []Query) error {
 	// whole round via terr: such a shard cannot be trusted retroactively.
 	var perr []PartitionError
 	var terr error
-	for r := 0; r < nsub; r++ {
-		rep := <-e.replyc
-		rpcDur := time.Since(tsub)
-		e.met.rpcLat[rep.Shard].Observe(int64(rpcDur))
-		if rep.Err != nil {
-			e.met.rpcErrs[rep.Shard].Inc()
-			e.trace.Add("rpc", 2, roundStart, rpcDur, rep.Shard, 0)
-			perr = append(perr, PartitionError{Partition: rep.Shard, Err: rep.Err})
-			continue
-		}
-		frontier := 0
-		for ri := range rep.Results {
-			frontier += len(rep.Results[ri].Boundary)
-		}
-		e.met.frontier.Observe(int64(frontier))
-		e.trace.Add("rpc", 2, roundStart, rpcDur, rep.Shard, frontier)
-		if rep.HasTiming {
-			// Split the observed round trip into shard compute and
-			// everything else (wire time, queueing in the transport, the
-			// fan-in wait itself). The server's self-measured total is
-			// clamped to the enclosing RPC duration: the two clocks are
-			// different machines', and a server span exceeding its RPC
-			// span would make the trace unreadable nonsense.
-			server := time.Duration(rep.Timing.Total())
-			if server > rpcDur {
-				server = rpcDur
-			}
-			net := rpcDur - server
-			e.met.rpcServer[rep.Shard].Observe(int64(server))
-			e.met.rpcNet[rep.Shard].Observe(int64(net))
-			e.trace.Add("server", 3, roundStart, server, rep.Shard, 0)
-			e.trace.Add("net", 3, roundStart, net, rep.Shard, 0)
-		}
-		if rep.Batch != 0 && rep.Batch != e.batchID {
-			terr = fmt.Errorf("dsr: shard %d echoed batch %d during batch %d", rep.Shard, rep.Batch, e.batchID)
-			continue
-		}
-		if len(rep.Results) != len(e.tasks) {
-			terr = fmt.Errorf("dsr: shard %d answered %d results for a %d-task batch", rep.Shard, len(rep.Results), len(e.tasks))
-			continue
-		}
-		for ri := range rep.Results {
-			res := &rep.Results[ri]
-			if int(res.Query) >= len(queries) {
-				terr = fmt.Errorf("dsr: shard %d answered query %d of a %d-query batch", rep.Shard, res.Query, len(queries))
-				continue
-			}
-			st := &e.qs[res.Query]
-			// Coverage first, even when the answer is already known: the
-			// ledger must reflect every reply that arrived.
-			if res.Kind == wire.Forward {
-				st.gotS += int(res.Owned)
-			} else {
-				st.gotT += int(res.Owned)
-			}
-			if st.hit {
-				continue // answer already known; skip the moot bookkeeping
-			}
-			if res.Hit {
-				st.hit = true
-				continue
-			}
-			for _, v := range res.Boundary {
-				d, ok := e.bg.dense(v)
-				if !ok {
-					terr = fmt.Errorf("dsr: shard %d reported non-boundary vertex %d", rep.Shard, v)
-					break
-				}
-				if res.Kind == wire.Forward {
-					st.seeds = append(st.seeds, d)
-				} else {
-					st.goals = append(st.goals, d)
-				}
-			}
-		}
+	if nsub > 0 && e.hedge != nil {
+		perr, terr = e.drainHedged(queries, hdr, tsub, roundStart)
+	} else {
+		perr, terr = e.drainPlain(queries, nsub, tsub, roundStart)
 	}
 	if round >= 0 {
 		wait := e.trace.Since() - roundStart
@@ -1040,6 +1027,220 @@ func (e *Engine) runBatch(queries []Query) error {
 		return &BatchError{Partitions: perr, Failed: failed}
 	}
 	return nil
+}
+
+// drainPlain is the unhedged fan-in: one reply per submitted partition,
+// drained in arrival order. Caller holds e.mu.
+func (e *Engine) drainPlain(queries []Query, nsub int, tsub time.Time, roundStart time.Duration) ([]PartitionError, error) {
+	var perr []PartitionError
+	var terr error
+	for r := 0; r < nsub; r++ {
+		rep := <-e.replyc
+		rpcDur := time.Since(tsub)
+		e.met.rpcLat[rep.Shard].Observe(int64(rpcDur))
+		if rep.Err != nil {
+			e.met.rpcErrs[rep.Shard].Inc()
+			e.trace.Add("rpc", 2, roundStart, rpcDur, rep.Shard, 0)
+			perr = append(perr, PartitionError{Partition: rep.Shard, Err: rep.Err})
+			continue
+		}
+		e.observeReply(&rep, rpcDur, roundStart)
+		if err := e.absorb(queries, &rep); err != nil {
+			terr = err
+		}
+	}
+	return perr, terr
+}
+
+// partRound is one partition's ledger within a hedged fan-in round.
+type partRound struct {
+	done bool  // a successful reply (primary or hedge) was absorbed
+	err  error // first failure seen; cleared once done
+}
+
+// drainHedged is the fan-in with hedged requests armed: it drains
+// primary replies as usual, but if the round outlasts the hedge
+// deadline (a high quantile of primary latency — see hedgeState.delay)
+// every partition still outstanding gets its batch re-sent to an idle
+// sibling replica, and per partition the first successful reply wins.
+// Duplicates are dropped unabsorbed: local searches are idempotent
+// reads, so the loser carries the same content, and replies own their
+// memory (the replicated transport copies results out of connection
+// arenas), so an unread duplicate can't clobber anything.
+//
+// The round returns the moment every partition is answered — that is
+// the entire point of hedging: the coordinator must not wait for a
+// straggling (or hung) replica once a sibling's answer is in hand.
+// Replies still owed at that point become stragglers: they keep the
+// round's buffered channels and task memory (e.stale makes the next
+// round start fresh), their replicas stay marked busy inside the
+// transport until they actually answer, and their content is never
+// read. A partition only fails the round when neither its primary
+// chain nor its hedge produced a reply. Caller holds e.mu.
+func (e *Engine) drainHedged(queries []Query, hdr wire.BatchHeader, tsub time.Time, roundStart time.Duration) ([]PartitionError, error) {
+	if cap(e.pround) < e.k {
+		e.pround = make([]partRound, e.k)
+	}
+	pr := e.pround[:e.k]
+	for p := range pr {
+		pr[p] = partRound{}
+	}
+	var terr error
+	remaining := e.k // primary replies still owed
+	hedges := 0      // hedged replies still owed
+	pending := e.k   // partitions not yet answered
+	timer := time.NewTimer(e.hedge.delay())
+	defer timer.Stop()
+	timerC := timer.C
+	var thsub time.Time // when the hedges were sent
+
+	handle := func(rep *shard.Reply, hedged bool) {
+		p := rep.Shard
+		t0 := tsub
+		if hedged {
+			t0 = thsub
+		}
+		rpcDur := time.Since(t0)
+		if rep.Err != nil {
+			e.met.rpcErrs[p].Inc()
+			e.trace.Add("rpc", 2, roundStart, rpcDur, p, 0)
+			if !pr[p].done && pr[p].err == nil {
+				pr[p].err = rep.Err
+			}
+			return
+		}
+		if !hedged {
+			// Only primary round trips feed the RPC histograms and the
+			// hedge deadline estimator: a hedge measures a sibling from a
+			// later start, not the partition's true latency.
+			e.met.rpcLat[p].Observe(int64(rpcDur))
+			e.hedge.observe(p, rpcDur)
+		}
+		if pr[p].done {
+			e.trace.Add("rpc", 2, roundStart, rpcDur, p, 0)
+			return // race lost; identical duplicate, drop it
+		}
+		e.observeReply(rep, rpcDur, roundStart)
+		if err := e.absorb(queries, rep); err != nil {
+			terr = err
+		}
+		pr[p].done = true
+		pr[p].err = nil
+		pending--
+		if hedged {
+			e.met.hedgeWins[p].Inc()
+		}
+	}
+
+	for pending > 0 && (remaining > 0 || hedges > 0) {
+		select {
+		case rep := <-e.replyc:
+			remaining--
+			handle(&rep, false)
+		case rep := <-e.hedgec:
+			hedges--
+			handle(&rep, true)
+		case <-timerC:
+			timerC = nil // the deadline fires at most once per round
+			thsub = time.Now()
+			for p := 0; p < e.k; p++ {
+				if !pr[p].done {
+					e.met.hedges[p].Inc()
+					e.hedge.tr.SubmitHedge(p, hdr, e.tasks, e.hedgec)
+					hedges++
+				}
+			}
+		}
+	}
+	if remaining > 0 || hedges > 0 {
+		e.stale = true // stragglers own this round's scratch now
+	}
+	var perr []PartitionError
+	for p := range pr {
+		if !pr[p].done && pr[p].err != nil {
+			perr = append(perr, PartitionError{Partition: p, Err: pr[p].err})
+		}
+	}
+	return perr, terr
+}
+
+// observeReply records a successful reply's frontier and timing
+// telemetry. Caller holds e.mu.
+func (e *Engine) observeReply(rep *shard.Reply, rpcDur time.Duration, roundStart time.Duration) {
+	frontier := 0
+	for ri := range rep.Results {
+		frontier += len(rep.Results[ri].Boundary)
+	}
+	e.met.frontier.Observe(int64(frontier))
+	e.trace.Add("rpc", 2, roundStart, rpcDur, rep.Shard, frontier)
+	if rep.HasTiming {
+		// Split the observed round trip into shard compute and
+		// everything else (wire time, queueing in the transport, the
+		// fan-in wait itself). The server's self-measured total is
+		// clamped to the enclosing RPC duration: the two clocks are
+		// different machines', and a server span exceeding its RPC
+		// span would make the trace unreadable nonsense.
+		server := time.Duration(rep.Timing.Total())
+		if server > rpcDur {
+			server = rpcDur
+		}
+		net := rpcDur - server
+		e.met.rpcServer[rep.Shard].Observe(int64(server))
+		e.met.rpcNet[rep.Shard].Observe(int64(net))
+		e.trace.Add("server", 3, roundStart, server, rep.Shard, 0)
+		e.trace.Add("net", 3, roundStart, net, rep.Shard, 0)
+	}
+}
+
+// absorb merges one successful reply's content into the round's
+// per-query state: Owned counts into the coverage ledger, local hits,
+// and reached boundary vertices into each query's seed/goal lists. The
+// returned error is the round-poisoning kind — a shard disagreeing
+// about the batch identity, its shape, or the boundary set cannot be
+// trusted retroactively. Caller holds e.mu.
+func (e *Engine) absorb(queries []Query, rep *shard.Reply) error {
+	if rep.Batch != 0 && rep.Batch != e.batchID {
+		return fmt.Errorf("dsr: shard %d echoed batch %d during batch %d", rep.Shard, rep.Batch, e.batchID)
+	}
+	if len(rep.Results) != len(e.tasks) {
+		return fmt.Errorf("dsr: shard %d answered %d results for a %d-task batch", rep.Shard, len(rep.Results), len(e.tasks))
+	}
+	var terr error
+	for ri := range rep.Results {
+		res := &rep.Results[ri]
+		if int(res.Query) >= len(queries) {
+			terr = fmt.Errorf("dsr: shard %d answered query %d of a %d-query batch", rep.Shard, res.Query, len(queries))
+			continue
+		}
+		st := &e.qs[res.Query]
+		// Coverage first, even when the answer is already known: the
+		// ledger must reflect every reply that arrived.
+		if res.Kind == wire.Forward {
+			st.gotS += int(res.Owned)
+		} else {
+			st.gotT += int(res.Owned)
+		}
+		if st.hit {
+			continue // answer already known; skip the moot bookkeeping
+		}
+		if res.Hit {
+			st.hit = true
+			continue
+		}
+		for _, v := range res.Boundary {
+			d, ok := e.bg.dense(v)
+			if !ok {
+				terr = fmt.Errorf("dsr: shard %d reported non-boundary vertex %d", rep.Shard, v)
+				break
+			}
+			if res.Kind == wire.Forward {
+				st.seeds = append(st.seeds, d)
+			} else {
+				st.goals = append(st.goals, d)
+			}
+		}
+	}
+	return terr
 }
 
 // boundaryReach runs the boundary-graph BFS from seeds and reports

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dsr/internal/obs"
+)
+
+// OverloadError is the typed rejection admission control returns when
+// a query cannot be accepted right now. Scope says which limit fired:
+// "client" (the connection has too many queries outstanding — a
+// fairness bound, so one pipelining client can't starve the rest) or
+// "server" (the shared queue is full — the process as a whole is
+// saturated). Clients should back off and retry; the wire form is
+// "error overload: <scope>" and Client.Recv rehydrates it.
+type OverloadError struct {
+	Scope string
+}
+
+// Error names the limit that shed the query.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s limit)", e.Scope)
+}
+
+// admission is the server's load-shedding gate: a server-wide bound on
+// queries admitted but not yet answered (the queue), plus a per-client
+// bound that keeps any one connection from monopolizing it. Both are
+// enforced with add-then-check on atomics, so the bounds are strict
+// even under concurrent admits.
+type admission struct {
+	maxQueued    int64
+	maxPerClient int64
+	queued       atomic.Int64
+
+	depth      *obs.Gauge
+	shedClient *obs.Counter
+	shedServer *obs.Counter
+}
+
+func newAdmission(maxQueued, maxPerClient int, reg *obs.Registry) *admission {
+	return &admission{
+		maxQueued:    int64(maxQueued),
+		maxPerClient: int64(maxPerClient),
+		depth:        reg.Gauge("dsr_serve_queue_depth"),
+		shedClient:   reg.Counter(obs.Name("dsr_serve_shed_total", "scope", "client")),
+		shedServer:   reg.Counter(obs.Name("dsr_serve_shed_total", "scope", "server")),
+	}
+}
+
+// admit claims one slot for sess, or reports the typed overload. The
+// per-client bound is checked first so a greedy client is told it is
+// the problem, not the server.
+func (a *admission) admit(sess *session) error {
+	if sess.outstanding.Add(1) > a.maxPerClient {
+		sess.outstanding.Add(-1)
+		a.shedClient.Inc()
+		return &OverloadError{Scope: "client"}
+	}
+	q := a.queued.Add(1)
+	if q > a.maxQueued {
+		a.queued.Add(-1)
+		sess.outstanding.Add(-1)
+		a.shedServer.Inc()
+		return &OverloadError{Scope: "server"}
+	}
+	a.depth.Set(q)
+	return nil
+}
+
+// release returns the slot admit claimed, once the query's answer (or
+// error) is settled.
+func (a *admission) release(sess *session) {
+	sess.outstanding.Add(-1)
+	a.depth.Set(a.queued.Add(-1))
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"dsr/internal/graph"
+)
+
+// Client speaks the serving protocol over one TCP connection. Query is
+// the simple call; Send/Recv expose the two halves separately so a
+// caller can pipeline — fire N requests, then collect N responses in
+// order — which is both the high-throughput mode and how load tests
+// push a server into shedding. A Client is not safe for concurrent
+// use; open one per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a dsr-serve address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Send writes one query line and flushes it. Pair each Send with one
+// later Recv, in order.
+func (c *Client) Send(S, T []graph.VertexID) error {
+	writeIDs(c.w, S)
+	c.w.WriteString("| ")
+	writeIDs(c.w, T)
+	c.w.WriteByte('\n')
+	return c.w.Flush()
+}
+
+func writeIDs(w *bufio.Writer, ids []graph.VertexID) {
+	for _, v := range ids {
+		w.WriteString(strconv.FormatUint(uint64(v), 10))
+		w.WriteByte(' ')
+	}
+}
+
+// Recv reads one response line. Server-side rejections come back as
+// errors: overload responses as *OverloadError (check with errors.As
+// to implement backoff), everything else as a plain error carrying the
+// server's line.
+func (c *Client) Recv() (bool, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "true":
+		return true, nil
+	case line == "false":
+		return false, nil
+	case strings.HasPrefix(line, "error overload: "):
+		return false, &OverloadError{Scope: strings.TrimPrefix(line, "error overload: ")}
+	case strings.HasPrefix(line, "error"):
+		return false, errors.New("serve: server reported " + strconv.Quote(line))
+	default:
+		return false, fmt.Errorf("serve: malformed response %q", line)
+	}
+}
+
+// Query sends one query and waits for its answer.
+func (c *Client) Query(S, T []graph.VertexID) (bool, error) {
+	if err := c.Send(S, T); err != nil {
+		return false, err
+	}
+	return c.Recv()
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }

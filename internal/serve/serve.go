@@ -1,0 +1,399 @@
+// Package serve is the always-on serving layer over a DSR engine: a
+// TCP server speaking the dsr-query line protocol ("s1 s2 | t1 t2" in,
+// "true"/"false"/"error <kind>" out) that multiplexes many concurrent
+// clients onto one coordinator. Four mechanisms make it a service
+// rather than a socket wrapper:
+//
+//   - Cross-client batching (batcher): queries arriving within a short
+//     window — from any connection — share one engine round, so shard
+//     RPC fan-out is paid per batch, not per query.
+//   - Result caching (Cache): a 2Q LRU over canonicalized (S, T) keys,
+//     sound because the served graph is immutable, epoch-tagged for
+//     future graph swaps. Hits bypass batching and admission entirely.
+//   - Admission control (admission): a server-wide queue bound and a
+//     per-client outstanding bound shed load with a typed
+//     OverloadError instead of letting latency collapse.
+//   - Hedged requests: configured on the engine itself (core.Connect
+//     with HedgeOptions); the server's batches inherit straggler
+//     re-sends transparently.
+//
+// Per connection, requests are answered in order even though their
+// batches complete out of order: a reader goroutine parses and admits,
+// a writer goroutine replies in arrival sequence as each answer
+// settles.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsr/internal/core"
+	"dsr/internal/graph"
+	"dsr/internal/obs"
+)
+
+// Querier is the engine capability the server needs: batch queries
+// with partial-failure reporting. *core.Engine satisfies it.
+type Querier interface {
+	QueryBatchErr(queries []core.Query) ([]bool, error)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown, and is the
+// error pending queries settle with when the server stops first.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// errParse marks protocol violations on the request line; the writer
+// renders them as "error parse: ...".
+var errParse = errors.New("parse")
+
+// Options tunes the serving layer. The zero value serves: every field
+// has a production default, and tests override only what they pin.
+type Options struct {
+	// BatchWindow is how long the first query of a batch waits for
+	// company before the batch departs. 0 means 250µs — long enough to
+	// merge concurrent clients, short enough to be noise against an RPC
+	// round. Negative is treated as 0 (depart at the next timer tick).
+	BatchWindow time.Duration
+	// MaxBatch departs a batch early once it holds this many queries.
+	// 0 means 64.
+	MaxBatch int
+	// CacheEntries bounds the result cache. 0 means 4096; negative
+	// disables caching.
+	CacheEntries int
+	// MaxQueued bounds queries admitted but not yet answered across all
+	// clients; beyond it the server sheds with OverloadError{"server"}.
+	// 0 means 1024.
+	MaxQueued int
+	// MaxPerClient bounds one connection's outstanding queries; beyond
+	// it that client is shed with OverloadError{"client"}. 0 means 256.
+	MaxPerClient int
+	// MaxInFlight caps concurrent engine batch rounds; excess batches
+	// wait in the batcher. 0 means 4.
+	MaxInFlight int
+	// Metrics receives the dsr_serve_* and dsr_cache_* instruments.
+	// Nil disables metrics.
+	Metrics *obs.Registry
+	// Log receives connection-lifecycle and shutdown logging. Nil
+	// disables logging.
+	Log *obs.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 250 * time.Microsecond
+	}
+	if o.BatchWindow < 0 {
+		o.BatchWindow = 0
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	if o.MaxQueued <= 0 {
+		o.MaxQueued = 1024
+	}
+	if o.MaxPerClient <= 0 {
+		o.MaxPerClient = 256
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4
+	}
+	return o
+}
+
+// session is one client connection's server-side state: its admission
+// accounting plus the ordered hand-off from reader to writer.
+type session struct {
+	conn        net.Conn
+	outstanding atomic.Int64
+	writec      chan *pending
+}
+
+// Server accepts dsr-query protocol connections and answers them
+// through a shared Querier. Construct with New, run with Serve, stop
+// with Shutdown; all methods are safe for concurrent use.
+type Server struct {
+	opt   Options
+	cache *Cache
+	batch *batcher
+	adm   *admission
+	log   *obs.Logger
+
+	queries   *obs.Counter
+	parseErrs *obs.Counter
+	latency   *obs.Histogram
+	clients   *obs.Gauge
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a server over q. The engine behind q stays owned by the
+// caller: Shutdown stops the server but does not Close the engine.
+func New(q Querier, o Options) *Server {
+	o = o.withDefaults()
+	cache := NewCache(o.CacheEntries, o.Metrics)
+	return &Server{
+		opt:       o,
+		cache:     cache,
+		batch:     newBatcher(q, cache, o),
+		adm:       newAdmission(o.MaxQueued, o.MaxPerClient, o.Metrics),
+		log:       o.Log,
+		queries:   o.Metrics.Counter("dsr_serve_queries_total"),
+		parseErrs: o.Metrics.Counter("dsr_serve_parse_errors_total"),
+		latency:   o.Metrics.Histogram("dsr_serve_latency_ns"),
+		clients:   o.Metrics.Gauge("dsr_serve_clients"),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Cache exposes the server's result cache, principally for SetEpoch
+// when the deployment behind the Querier is swapped. Nil when caching
+// is disabled.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Serve accepts connections on ln until Shutdown, spawning one handler
+// per connection. It returns ErrServerClosed after Shutdown, or the
+// accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown stops accepting, half-closes every connection's read side
+// (so in-flight requests finish and their answers still go out), and
+// waits for handlers to drain, up to ctx. On ctx expiry remaining
+// connections are force-closed and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		if cr, ok := c.(interface{ CloseRead() error }); ok {
+			cr.CloseRead()
+		} else {
+			c.Close()
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.batch.close()
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		s.batch.close()
+		return ctx.Err()
+	}
+}
+
+// handleConn runs a connection's reader inline and its writer as a
+// goroutine. The reader parses, admits, and enqueues in arrival order;
+// the writer replies in that same order, blocking on each pending's
+// settle. The bounded hand-off channel means a client that stops
+// reading responses eventually stops being read from — backpressure
+// ends at the socket, not in server memory.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	s.clients.Add(1)
+	sess := &session{
+		conn:   conn,
+		writec: make(chan *pending, s.opt.MaxPerClient+16),
+	}
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeLoop(sess)
+	}()
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		sess.writec <- s.begin(sess, line)
+	}
+	close(sess.writec)
+	writerWG.Wait()
+	conn.Close()
+
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.clients.Add(-1)
+}
+
+// begin takes one request line from parse to cache to admission to
+// batch, returning the pending the writer will answer. Cache hits and
+// rejections come back already settled.
+func (s *Server) begin(sess *session, line string) *pending {
+	s.queries.Inc()
+	start := time.Now()
+	S, T, err := parseQuery(line)
+	if err != nil {
+		s.parseErrs.Inc()
+		return settled(err, start)
+	}
+	key := Key(S, T)
+	if ans, ok := s.cache.Get(key); ok {
+		p := settled(nil, start)
+		p.ans = ans
+		return p
+	}
+	if err := s.adm.admit(sess); err != nil {
+		return settled(err, start)
+	}
+	p := &pending{
+		q:     core.Query{S: S, T: T},
+		key:   key,
+		ready: make(chan struct{}),
+		done:  func() { s.adm.release(sess) },
+		start: start,
+	}
+	s.batch.enqueue(p)
+	return p
+}
+
+// settled builds a pending that is already answered (cache hit) or
+// already failed (parse error, overload) — the writer won't block.
+func settled(err error, start time.Time) *pending {
+	p := &pending{err: err, ready: make(chan struct{}), start: start}
+	close(p.ready)
+	return p
+}
+
+// writeLoop replies to sess's requests in arrival order, waiting for
+// each answer to settle before formatting it.
+func (s *Server) writeLoop(sess *session) {
+	w := bufio.NewWriter(sess.conn)
+	for p := range sess.writec {
+		<-p.ready
+		s.latency.ObserveSince(p.start)
+		fmt.Fprintln(w, respond(p))
+		// Flush when no answer is immediately available to append —
+		// batches the writes of a pipelining client for free.
+		if len(sess.writec) == 0 {
+			w.Flush()
+		}
+	}
+	w.Flush()
+}
+
+// respond renders one settled pending in the response grammar: "true",
+// "false", or "error <kind>[: detail]" with kind one of parse,
+// overload, unavailable.
+func respond(p *pending) string {
+	if p.err == nil {
+		if p.ans {
+			return "true"
+		}
+		return "false"
+	}
+	var oe *OverloadError
+	switch {
+	case errors.As(p.err, &oe):
+		return "error overload: " + oe.Scope
+	case errors.Is(p.err, errParse):
+		return "error " + p.err.Error()
+	default:
+		return "error unavailable"
+	}
+}
+
+// parseQuery parses the request line "s1 s2 ... | t1 t2 ...": two
+// whitespace-separated lists of vertex IDs split by a pipe. This is
+// the same grammar dsr-query reads on stdin.
+func parseQuery(line string) (S, T []graph.VertexID, err error) {
+	left, right, ok := strings.Cut(line, "|")
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: missing '|' separator", errParse)
+	}
+	if S, err = parseIDs(left); err != nil {
+		return nil, nil, err
+	}
+	if T, err = parseIDs(right); err != nil {
+		return nil, nil, err
+	}
+	if len(S) == 0 || len(T) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty vertex set", errParse)
+	}
+	return S, T, nil
+}
+
+func parseIDs(s string) ([]graph.VertexID, error) {
+	fields := strings.Fields(s)
+	ids := make([]graph.VertexID, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad vertex id %q", errParse, f)
+		}
+		ids[i] = graph.VertexID(v)
+	}
+	return ids, nil
+}

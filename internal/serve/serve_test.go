@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsr/internal/core"
+	"dsr/internal/dsr"
+	"dsr/internal/graph"
+	"dsr/internal/obs"
+)
+
+// chainGraph builds 0 -> 1 -> ... -> n-1.
+func chainGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v+1))
+	}
+	return b.Build()
+}
+
+// startServer boots a server over an in-process engine on a loopback
+// listener and tears both down with the test.
+func startServer(t *testing.T, g *graph.Graph, o Options) (*Server, string, *core.Engine) {
+	t.Helper()
+	eng, err := core.Build(g, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := New(eng, o)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	servec := make(chan error, 1)
+	go func() { servec <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-servec; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+	return srv, ln.Addr().String(), eng
+}
+
+func TestServeBasic(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr, _ := startServer(t, chainGraph(t, 8), Options{Metrics: reg})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if ans, err := c.Query(ids(0), ids(7)); err != nil || !ans {
+		t.Fatalf("0->7 = (%v, %v), want true", ans, err)
+	}
+	if ans, err := c.Query(ids(7), ids(0)); err != nil || ans {
+		t.Fatalf("7->0 = (%v, %v), want false", ans, err)
+	}
+	// Same sets, permuted: must be a cache hit.
+	before := reg.Counter("dsr_cache_hits_total").Load()
+	if ans, err := c.Query(ids(0), ids(7)); err != nil || !ans {
+		t.Fatalf("repeat 0->7 = (%v, %v), want true", ans, err)
+	}
+	if got := reg.Counter("dsr_cache_hits_total").Load(); got != before+1 {
+		t.Fatalf("cache hits %d -> %d, want +1", before, got)
+	}
+	if got := reg.Counter("dsr_serve_queries_total").Load(); got != 3 {
+		t.Fatalf("dsr_serve_queries_total = %d, want 3", got)
+	}
+}
+
+// TestServeParseErrors: malformed lines get an in-order "error parse"
+// response and never reach the engine; the connection stays usable.
+func TestServeParseErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr, _ := startServer(t, chainGraph(t, 8), Options{Metrics: reg})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	lines := "no separator here\n0 | \nx | 7\n0 | 7\n"
+	if _, err := conn.Write([]byte(lines)); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 0, 256)
+	buf := make([]byte, 256)
+	for !strings.HasSuffix(string(r), "true\n") {
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v (got %q)", err, r)
+		}
+		r = append(r, buf[:n]...)
+	}
+	got := strings.Split(strings.TrimSpace(string(r)), "\n")
+	if len(got) != 4 {
+		t.Fatalf("got %d responses %q, want 4", len(got), got)
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.HasPrefix(got[i], "error parse") {
+			t.Fatalf("response %d = %q, want error parse", i, got[i])
+		}
+	}
+	if got[3] != "true" {
+		t.Fatalf("response 3 = %q, want true", got[3])
+	}
+	if got := reg.Counter("dsr_serve_parse_errors_total").Load(); got != 3 {
+		t.Fatalf("parse errors = %d, want 3", got)
+	}
+}
+
+// TestServePipelinedOrder: a client that fires many requests before
+// reading gets its answers back in request order.
+func TestServePipelinedOrder(t *testing.T) {
+	g := chainGraph(t, 32)
+	_, addr, _ := startServer(t, g, Options{CacheEntries: -1})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const q = 24
+	want := make([]bool, q)
+	for i := 0; i < q; i++ {
+		s, tt := graph.VertexID(i%32), graph.VertexID((i*7)%32)
+		want[i] = s <= tt // chain reachability
+		if err := c.Send(ids(s), ids(tt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < q; i++ {
+		ans, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if ans != want[i] {
+			t.Fatalf("query %d: got %v, want %v", i, ans, want[i])
+		}
+	}
+}
+
+// TestServeCrossClientBatching: two clients, one shared engine round.
+// MaxBatch 2 with a long window means the batch departs exactly when
+// the second client's query lands — if batching were per-connection,
+// each query would wait out the full window alone and form its own
+// batch.
+func TestServeCrossClientBatching(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr, _ := startServer(t, chainGraph(t, 8), Options{
+		Metrics:      reg,
+		BatchWindow:  5 * time.Second,
+		MaxBatch:     2,
+		CacheEntries: -1,
+	})
+
+	var wg sync.WaitGroup
+	answers := make([]bool, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			answers[i], errs[i] = c.Query(ids(graph.VertexID(i)), ids(7))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if !answers[i] {
+			t.Fatalf("client %d: got false, want true", i)
+		}
+	}
+	if got := reg.Counter("dsr_serve_batches_total").Load(); got != 1 {
+		t.Fatalf("dsr_serve_batches_total = %d, want 1 shared batch", got)
+	}
+	if got := reg.Histogram("dsr_serve_batch_size").Count(); got != 1 {
+		t.Fatalf("batch size samples = %d, want 1", got)
+	}
+}
+
+// TestServeOverloadPerClient: with MaxPerClient 1 and a window long
+// enough to hold the first query open, a pipelining client's second
+// and third requests are shed with the client scope — and still
+// answered in order.
+func TestServeOverloadPerClient(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr, _ := startServer(t, chainGraph(t, 8), Options{
+		Metrics:      reg,
+		BatchWindow:  300 * time.Millisecond,
+		MaxPerClient: 1,
+		CacheEntries: -1,
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := c.Send(ids(0), ids(graph.VertexID(5+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ans, err := c.Recv(); err != nil || !ans {
+		t.Fatalf("first query = (%v, %v), want true", ans, err)
+	}
+	for i := 0; i < 2; i++ {
+		_, err := c.Recv()
+		var oe *OverloadError
+		if !errors.As(err, &oe) || oe.Scope != "client" {
+			t.Fatalf("shed query %d: err = %v, want OverloadError{client}", i, err)
+		}
+	}
+	if got := reg.Counter(obs.Name("dsr_serve_shed_total", "scope", "client")).Load(); got != 2 {
+		t.Fatalf("client sheds = %d, want 2", got)
+	}
+}
+
+// TestServeOverloadServer: the server-wide queue bound sheds with the
+// server scope once total outstanding crosses MaxQueued.
+func TestServeOverloadServer(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr, _ := startServer(t, chainGraph(t, 8), Options{
+		Metrics:      reg,
+		BatchWindow:  300 * time.Millisecond,
+		MaxQueued:    1,
+		MaxPerClient: 8,
+		CacheEntries: -1,
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.Send(ids(0), ids(5))
+	c.Send(ids(0), ids(6))
+	if ans, err := c.Recv(); err != nil || !ans {
+		t.Fatalf("first query = (%v, %v), want true", ans, err)
+	}
+	_, err = c.Recv()
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Scope != "server" {
+		t.Fatalf("err = %v, want OverloadError{server}", err)
+	}
+	if got := reg.Counter(obs.Name("dsr_serve_shed_total", "scope", "server")).Load(); got != 1 {
+		t.Fatalf("server sheds = %d, want 1", got)
+	}
+}
+
+// fakeQuerier scripts QueryBatchErr for batcher-level tests.
+type fakeQuerier struct {
+	answers []bool
+	err     error
+	calls   int
+}
+
+func (f *fakeQuerier) QueryBatchErr(queries []core.Query) ([]bool, error) {
+	f.calls++
+	if f.answers != nil {
+		return f.answers[:len(queries)], f.err
+	}
+	return make([]bool, len(queries)), f.err
+}
+
+// TestBatcherPartialFailure: a *dsr.BatchError fails exactly the
+// flagged queries; the rest are answered and cached.
+func TestBatcherPartialFailure(t *testing.T) {
+	be := &dsr.BatchError{
+		Partitions: []dsr.PartitionError{{Partition: 1, Err: errors.New("down")}},
+		Failed:     []bool{false, true},
+	}
+	fq := &fakeQuerier{answers: []bool{true, false}, err: be}
+	cache := NewCache(8, nil)
+	b := newBatcher(fq, cache, Options{MaxInFlight: 1}.withDefaults())
+
+	ps := []*pending{
+		{q: core.Query{S: ids(0), T: ids(1)}, key: "a", ready: make(chan struct{})},
+		{q: core.Query{S: ids(2), T: ids(3)}, key: "b", ready: make(chan struct{})},
+	}
+	b.run(ps)
+
+	<-ps[0].ready
+	if ps[0].err != nil || !ps[0].ans {
+		t.Fatalf("query 0 = (%v, %v), want clean true", ps[0].ans, ps[0].err)
+	}
+	if _, ok := cache.Get("a"); !ok {
+		t.Fatal("clean answer not cached")
+	}
+	<-ps[1].ready
+	if !errors.Is(ps[1].err, error(be)) {
+		t.Fatalf("query 1 err = %v, want the batch error", ps[1].err)
+	}
+	if _, ok := cache.Get("b"); ok {
+		t.Fatal("failed answer must not be cached")
+	}
+}
+
+// TestBatcherTotalFailure: a non-BatchError failure fails every query
+// and caches nothing.
+func TestBatcherTotalFailure(t *testing.T) {
+	boom := errors.New("engine gone")
+	fq := &fakeQuerier{err: boom}
+	cache := NewCache(8, nil)
+	b := newBatcher(fq, cache, Options{MaxInFlight: 1}.withDefaults())
+	p := &pending{q: core.Query{S: ids(0), T: ids(1)}, key: "a", ready: make(chan struct{})}
+	b.run([]*pending{p})
+	<-p.ready
+	if !errors.Is(p.err, boom) {
+		t.Fatalf("err = %v, want %v", p.err, boom)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("failure cached")
+	}
+}
+
+// TestBatcherClosedRejects: enqueue after close settles immediately
+// with ErrServerClosed instead of stranding the writer.
+func TestBatcherClosedRejects(t *testing.T) {
+	b := newBatcher(&fakeQuerier{}, nil, Options{}.withDefaults())
+	b.close()
+	p := &pending{ready: make(chan struct{})}
+	b.enqueue(p)
+	select {
+	case <-p.ready:
+	case <-time.After(time.Second):
+		t.Fatal("pending not settled after enqueue on closed batcher")
+	}
+	if !errors.Is(p.err, ErrServerClosed) {
+		t.Fatalf("err = %v, want ErrServerClosed", p.err)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	S, T, err := parseQuery("3 1 2 | 9 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(S) != 3 || len(T) != 2 || S[0] != 3 || T[1] != 8 {
+		t.Fatalf("parsed S=%v T=%v", S, T)
+	}
+	for _, bad := range []string{"1 2 3", "| 1", "1 |", "a | 1", "1 | 4294967296"} {
+		if _, _, err := parseQuery(bad); !errors.Is(err, errParse) {
+			t.Fatalf("parseQuery(%q) err = %v, want parse error", bad, err)
+		}
+	}
+}

@@ -111,7 +111,8 @@ type replicaSet struct {
 	mu      sync.Mutex
 	live    []Replica
 	lastErr []error
-	rr      int // round-robin cursor over replica indices
+	busy    []bool // replica i is serving an in-flight batch or summary fetch
+	rr      int    // round-robin cursor over replica indices
 	closed  bool
 	expect  *Expect // pinned fleet identity, nil until Pin
 
@@ -160,6 +161,7 @@ func NewReplicated(ctx context.Context, groups [][]ReplicaDialer, opts Replicate
 			dialers:   dialers,
 			live:      make([]Replica, len(dialers)),
 			lastErr:   make([]error, len(dialers)),
+			busy:      make([]bool, len(dialers)),
 			retries:   counterOr(opts.Metrics, obs.Name("shard_retries_total", "partition", p)),
 			failovers: counterOr(opts.Metrics, obs.Name("shard_failovers_total", "partition", p)),
 			redials:   counterOr(opts.Metrics, obs.Name("shard_redials_total", "partition", p)),
@@ -323,7 +325,39 @@ func (r *Replicated) Submit(p int, h wire.BatchHeader, tasks []wire.Task, replyc
 	r.mu.Unlock()
 	go func() {
 		defer r.subWG.Done()
-		replyc <- r.sets[p].run(r.ctx, h, tasks)
+		replyc <- r.sets[p].run(r.ctx, h, tasks, false)
+	}()
+}
+
+// ErrNoIdleSibling is SubmitHedge's fail-fast answer when partition p
+// has no live replica sitting idle: every replica is either serving an
+// in-flight batch (most likely the very submit being hedged) or dead.
+// Hedging is a latency tool, not an availability tool, so this is not
+// an outage signal — the primary submit still owns retries and redials.
+var ErrNoIdleSibling = errors.New("shard: no idle sibling replica to hedge on")
+
+// SubmitHedge re-sends a round's task batch for partition p to an idle
+// sibling replica — one not currently serving any batch — implementing
+// the coordinator's hedged requests. It is sound because local searches
+// are idempotent reads, and safe concurrently with an in-flight Submit
+// on the same partition: a busy replica is never picked, so a hedge can
+// never interleave two batches on one replica connection (whose decode
+// buffers hold one reply at a time). Unlike Submit it never redials
+// dead endpoints and never waits: with no idle live sibling the Reply
+// carries ErrNoIdleSibling immediately. The caller must be draining
+// replyc for both the primary and the hedged reply — both arrive.
+func (r *Replicated) SubmitHedge(p int, h wire.BatchHeader, tasks []wire.Task, replyc chan<- Reply) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		replyc <- Reply{Shard: p, Err: ErrClosed}
+		return
+	}
+	r.subWG.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer r.subWG.Done()
+		replyc <- r.sets[p].run(r.ctx, h, tasks, true)
 	}()
 }
 
@@ -417,16 +451,32 @@ func (r *Replicated) reconnectLoop(every time.Duration) {
 // is retried on the next candidate, which is correct because local
 // searches are idempotent reads. Only when every replica has failed
 // does the caller get an error Reply, carrying each replica's failure.
-func (rs *replicaSet) run(ctx context.Context, h wire.BatchHeader, tasks []wire.Task) Reply {
+//
+// In hedge mode the candidate pool shrinks to idle live replicas: no
+// redial of dead endpoints, and ErrNoIdleSibling the moment the pool is
+// empty — a hedge races the primary submit, so spending seconds dialing
+// would defeat its purpose.
+//
+// Replies from a replicaSet own their memory: a replica's decode
+// buffers are valid only until its next submit, and with hedging two
+// submits to one partition are in flight at once, so the successful
+// reply's Boundary lists are copied out of the replica's arena before
+// the replica is released for reuse. That keeps every Reply valid until
+// the coordinator finishes the whole round, however the round's submits
+// interleave.
+func (rs *replicaSet) run(ctx context.Context, h wire.BatchHeader, tasks []wire.Task, hedge bool) Reply {
 	tried := make([]bool, len(rs.dialers))
 	inner := make(chan Reply, 1)
 	attempts := 0
 	for {
 		idx, rep := rs.pick(tried)
-		if rep == nil {
+		if rep == nil && !hedge {
 			idx, rep = rs.redialDead(ctx, tried)
 		}
 		if rep == nil {
+			if hedge {
+				return Reply{Shard: rs.part, Err: ErrNoIdleSibling}
+			}
 			return Reply{Shard: rs.part, Err: &ReplicaSetError{Part: rs.part, Replicas: rs.describeFailures()}}
 		}
 		if attempts > 0 {
@@ -440,10 +490,42 @@ func (rs *replicaSet) run(ctx context.Context, h wire.BatchHeader, tasks []wire.
 		rs.lat[idx].ObserveSince(t0)
 		if reply.Err == nil {
 			reply.Shard = rs.part
+			reply.Results = copyResults(reply.Results)
+			rs.setBusy(idx, false)
 			return reply
 		}
+		rs.setBusy(idx, false)
 		rs.markDead(idx, rep, reply.Err)
 	}
+}
+
+// copyResults rebinds results onto a freshly allocated backing array —
+// one arena for all Boundary lists — so the reply no longer aliases
+// the replica connection's reusable decode buffers.
+func copyResults(results []wire.Result) []wire.Result {
+	if len(results) == 0 {
+		return results
+	}
+	total := 0
+	for i := range results {
+		total += len(results[i].Boundary)
+	}
+	out := make([]wire.Result, len(results))
+	copy(out, results)
+	arena := make([]uint32, total)
+	for i := range out {
+		n := copy(arena, out[i].Boundary)
+		out[i].Boundary, arena = arena[:n:n], arena[n:]
+	}
+	return out
+}
+
+// setBusy releases (or re-marks) replica idx; acquisition happens
+// inside pick/redialDead under rs.mu.
+func (rs *replicaSet) setBusy(idx int, b bool) {
+	rs.mu.Lock()
+	rs.busy[idx] = b
+	rs.mu.Unlock()
 }
 
 // summary mirrors run for boundary-summary fetches: same candidate
@@ -470,6 +552,7 @@ func (rs *replicaSet) summary(ctx context.Context) (SummaryInfo, error) {
 		attempts++
 		tried[idx] = true
 		sum, err := rep.Summary(ctx)
+		rs.setBusy(idx, false)
 		if err == nil {
 			return SummaryInfo{Hello: rep.Hello(), Summary: sum}, nil
 		}
@@ -477,8 +560,12 @@ func (rs *replicaSet) summary(ctx context.Context) (SummaryInfo, error) {
 	}
 }
 
-// pick returns the next untried healthy replica in round-robin order,
-// or nil if none remains.
+// pick returns the next untried idle healthy replica in round-robin
+// order, or nil if none remains, marking the returned replica busy.
+// Skipping busy replicas is what keeps a hedge and its primary (and the
+// primary's own sibling retries) on disjoint replicas: each replica
+// serves at most one in-flight batch, so its decode buffers hold one
+// reply at a time.
 func (rs *replicaSet) pick(tried []bool) (int, Replica) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -488,8 +575,9 @@ func (rs *replicaSet) pick(tried []bool) (int, Replica) {
 	n := len(rs.live)
 	for i := 0; i < n; i++ {
 		idx := (rs.rr + i) % n
-		if !tried[idx] && rs.live[idx] != nil {
+		if !tried[idx] && !rs.busy[idx] && rs.live[idx] != nil {
 			rs.rr = idx + 1
+			rs.busy[idx] = true
 			return idx, rs.live[idx]
 		}
 	}
@@ -515,6 +603,11 @@ func (rs *replicaSet) redialDead(ctx context.Context, tried []bool) (int, Replic
 		}
 		if rep := rs.live[idx]; rep != nil {
 			// Revived by the background loop while we waited for dialMu.
+			if rs.busy[idx] {
+				rs.mu.Unlock()
+				continue // revived and immediately claimed by another batch
+			}
+			rs.busy[idx] = true
 			rs.mu.Unlock()
 			return idx, rep
 		}
@@ -530,7 +623,7 @@ func (rs *replicaSet) redialDead(ctx context.Context, tried []bool) (int, Replic
 			rs.mu.Unlock()
 			continue
 		}
-		installed, closed := rs.install(idx, rep)
+		installed, closed := rs.install(idx, rep, true)
 		if closed {
 			return -1, nil // closed while dialing
 		}
@@ -561,7 +654,7 @@ func (rs *replicaSet) reconnect(ctx context.Context) {
 			rs.mu.Unlock()
 			continue
 		}
-		if _, closed := rs.install(idx, rep); closed {
+		if _, closed := rs.install(idx, rep, false); closed {
 			return
 		}
 	}
@@ -573,8 +666,10 @@ func (rs *replicaSet) reconnect(ctx context.Context) {
 // dial was in flight (the caller should stop redialing). A verify
 // failure records the mismatch as the endpoint's lastErr and closes the
 // replica — it stays dead until it comes back serving the right
-// deployment.
-func (rs *replicaSet) install(idx int, rep Replica) (installed, closed bool) {
+// deployment. claim marks the installed replica busy for the caller's
+// own use (redialDead submits to it immediately; the reconnect loop
+// just parks it live for future picks).
+func (rs *replicaSet) install(idx int, rep Replica, claim bool) (installed, closed bool) {
 	rs.mu.Lock()
 	if rs.closed {
 		rs.mu.Unlock()
@@ -589,6 +684,7 @@ func (rs *replicaSet) install(idx int, rep Replica) (installed, closed bool) {
 	}
 	rs.live[idx] = rep
 	rs.lastErr[idx] = nil
+	rs.busy[idx] = claim
 	rs.recordEndpointLocked(idx, rep)
 	rs.updateLiveLocked()
 	rs.mu.Unlock()

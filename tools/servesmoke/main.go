@@ -1,0 +1,230 @@
+// Command servesmoke is the CI driver behind `make serve-smoke`: it
+// builds the real binaries, boots a k=2 dsr-shard fleet over loopback
+// TCP, starts dsr-serve in front of it, and drives the serving layer
+// end to end:
+//
+//   - two queries through one client connection, answers checked
+//     against the tiny.txt graph,
+//   - the repeat answered from the result cache
+//     (dsr_cache_hits_total >= 1 on /metrics),
+//   - the serving counters present and consistent
+//     (dsr_serve_queries_total, dsr_serve_batches_total),
+//   - SIGTERM draining the server to a clean exit 0.
+//
+// Run it from the repository root; it exits non-zero with a reason on
+// the first broken invariant.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"dsr/internal/graph"
+	"dsr/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: ok")
+}
+
+var (
+	servingRe = regexp.MustCompile(`serving on (\S+)`)
+	metricsRe = regexp.MustCompile(`metrics on (http://\S+/metrics)`)
+)
+
+// waitLine scans lines from r until re matches, returning the first
+// capture group. It gives up after 30s. One call consumes the stream
+// up to its match; callers needing several patterns from one stream
+// must capture them in one pass (see waitServeAddrs).
+func waitLine(r io.Reader, re *regexp.Regexp, what string) (string, error) {
+	found := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			if m := re.FindStringSubmatch(sc.Text()); m != nil {
+				found <- m[1]
+				return
+			}
+		}
+	}()
+	select {
+	case s := <-found:
+		return s, nil
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for %s", what)
+	}
+}
+
+// waitServeAddrs reads dsr-serve's stderr in one pass, collecting the
+// metrics URL (announced first) and then the query-protocol address;
+// it keeps draining the pipe afterwards so the process never blocks on
+// stderr.
+func waitServeAddrs(r io.Reader) (metricsURL, serveAddr string, err error) {
+	type addrs struct{ metrics, serve string }
+	found := make(chan addrs, 1)
+	go func() {
+		var got addrs
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := metricsRe.FindStringSubmatch(line); m != nil {
+				got.metrics = m[1]
+			}
+			if m := servingRe.FindStringSubmatch(line); m != nil {
+				got.serve = m[1]
+				found <- got
+				break
+			}
+		}
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case got := <-found:
+		if got.metrics == "" {
+			return "", "", fmt.Errorf("dsr-serve announced no metrics endpoint")
+		}
+		return got.metrics, got.serve, nil
+	case <-time.After(30 * time.Second):
+		return "", "", fmt.Errorf("timed out waiting for dsr-serve addresses")
+	}
+}
+
+func run() error {
+	bin, err := os.MkdirTemp("", "serve-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bin)
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/dsr-shard", "./cmd/dsr-serve").CombinedOutput(); err != nil {
+		return fmt.Errorf("go build: %v\n%s", err, out)
+	}
+	graphPath := filepath.Join("internal", "graph", "testdata", "tiny.txt")
+	if _, err := os.Stat(graphPath); err != nil {
+		return fmt.Errorf("run from the repository root: %v", err)
+	}
+
+	const k = 2
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+	shardAddrs := make([]string, k)
+	for p := 0; p < k; p++ {
+		cmd := exec.Command(filepath.Join(bin, "dsr-shard"),
+			"-graph", graphPath, "-shards", fmt.Sprint(k), "-id", fmt.Sprint(p),
+			"-listen", "127.0.0.1:0")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		procs = append(procs, cmd)
+		if shardAddrs[p], err = waitLine(stderr, servingRe, fmt.Sprintf("shard %d address", p)); err != nil {
+			return err
+		}
+	}
+
+	srv := exec.Command(filepath.Join(bin, "dsr-serve"),
+		"-shards", strings.Join(shardAddrs, ","),
+		"-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
+	serr, err := srv.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	procs = append(procs, srv)
+	metricsURL, serveAddr, err := waitServeAddrs(serr)
+	if err != nil {
+		return err
+	}
+
+	// Three queries: an answer, its cached repeat, and the opposite
+	// direction — tiny.txt reaches 0->7 but never 7->0.
+	c, err := serve.Dial(serveAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		ans, err := c.Query([]graph.VertexID{0}, []graph.VertexID{7})
+		if err != nil {
+			return fmt.Errorf("query %d: %v", i, err)
+		}
+		if !ans {
+			return fmt.Errorf("query %d: 0->7 answered false", i)
+		}
+	}
+	ans, err := c.Query([]graph.VertexID{7}, []graph.VertexID{0})
+	if err != nil {
+		return err
+	}
+	if ans {
+		return fmt.Errorf("7->0 answered true")
+	}
+
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", metricsURL, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("GET %s: not valid JSON: %v", metricsURL, err)
+	}
+	if got := snap.Counters["dsr_serve_queries_total"]; got != 3 {
+		return fmt.Errorf("dsr_serve_queries_total = %d, want 3", got)
+	}
+	if got := snap.Counters["dsr_cache_hits_total"]; got < 1 {
+		return fmt.Errorf("dsr_cache_hits_total = %d, want >= 1 (the repeated query)", got)
+	}
+	if got := snap.Counters["dsr_serve_batches_total"]; got < 1 || got > 2 {
+		return fmt.Errorf("dsr_serve_batches_total = %d, want 1..2 (two misses, one cached)", got)
+	}
+
+	// Clean teardown: dsr-serve drains on SIGTERM, shards likewise.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := srv.Wait(); err != nil {
+		return fmt.Errorf("dsr-serve did not drain cleanly: %v", err)
+	}
+	for p := 0; p < k; p++ {
+		if err := procs[p].Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		if err := procs[p].Wait(); err != nil {
+			return fmt.Errorf("shard %d did not drain cleanly: %v", p, err)
+		}
+	}
+	procs = nil
+	return nil
+}
