@@ -22,6 +22,7 @@ COVER_MIN_WIRE ?= 85.0
 COVER_MIN_OBS ?= 85.0
 COVER_MIN_FLEET ?= 85.0
 COVER_MIN_SERVE ?= 85.0
+COVER_MIN_SNAPSHOT ?= 85.0
 
 .PHONY: build test test-e2e vet fmt fmt-check lint bench bench-smoke bench-json bench-baseline bench-gate cover-gate fuzz-smoke metrics-smoke serve-smoke doc-check vulncheck
 
@@ -44,9 +45,9 @@ test-e2e:
 # above. A failing test or a coverage drop past the minimum fails the
 # target; raise the minima when coverage rises for keeps.
 cover-gate:
-	@out="$$($(GO) test -count=1 -cover ./internal/shard ./internal/shard/chaos ./internal/dsr ./internal/wire ./internal/obs ./internal/obs/fleet ./internal/serve)"; \
+	@out="$$($(GO) test -count=1 -cover ./internal/shard ./internal/shard/chaos ./internal/dsr ./internal/wire ./internal/obs ./internal/obs/fleet ./internal/serve ./internal/snapshot)"; \
 	status=$$?; echo "$$out"; \
-	echo "$$out" | awk -v ms=$(COVER_MIN_SHARD) -v mc=$(COVER_MIN_CHAOS) -v md=$(COVER_MIN_DSR) -v mw=$(COVER_MIN_WIRE) -v mo=$(COVER_MIN_OBS) -v mf=$(COVER_MIN_FLEET) -v mv=$(COVER_MIN_SERVE) ' \
+	echo "$$out" | awk -v ms=$(COVER_MIN_SHARD) -v mc=$(COVER_MIN_CHAOS) -v md=$(COVER_MIN_DSR) -v mw=$(COVER_MIN_WIRE) -v mo=$(COVER_MIN_OBS) -v mf=$(COVER_MIN_FLEET) -v mv=$(COVER_MIN_SERVE) -v mn=$(COVER_MIN_SNAPSHOT) ' \
 		$$1 == "FAIL" { fail = 1 } \
 		/coverage:/ { \
 			pct = ""; for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { pct = $$i; gsub("%", "", pct) } \
@@ -58,13 +59,14 @@ cover-gate:
 			if ($$2 == "dsr/internal/obs") min = mo; \
 			if ($$2 == "dsr/internal/obs/fleet") min = mf; \
 			if ($$2 == "dsr/internal/serve") min = mv; \
+			if ($$2 == "dsr/internal/snapshot") min = mn; \
 			if (min >= 0) { \
 				seen++; \
 				if (pct + 0 < min + 0) { printf "cover-gate: %s %.1f%% < %.1f%% minimum\n", $$2, pct, min; fail = 1 } \
 				else printf "cover-gate: %s %.1f%% (minimum %.1f%%)\n", $$2, pct, min \
 			} \
 		} \
-		END { if (seen != 7) { printf "cover-gate: expected 7 coverage lines, saw %d\n", seen; fail = 1 }; exit fail }' \
+		END { if (seen != 8) { printf "cover-gate: expected 8 coverage lines, saw %d\n", seen; fail = 1 }; exit fail }' \
 	&& [ $$status -eq 0 ]
 
 vet:
@@ -140,6 +142,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeHello$$' -fuzztime=$(FUZZ_TIME)
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=$(FUZZ_TIME)
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeSummary$$' -fuzztime=$(FUZZ_TIME)
+	$(GO) test ./internal/snapshot -run='^$$' -fuzz='^FuzzDecodeSnapshotHeader$$' -fuzztime=$(FUZZ_TIME)
 
 # Observability smoke: build the real binaries, boot a k=2 loopback-TCP
 # fleet with every process serving -metrics-addr, run one query, and

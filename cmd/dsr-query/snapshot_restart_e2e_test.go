@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dsr/internal/dsr"
+	"dsr/internal/graph"
+	"dsr/internal/obs"
+)
+
+// TestBinariesSnapshotRestartTCP is the rolling-restart-from-snapshot
+// e2e over real binaries: a k=3 R=2 fleet boots with -snapshot-dir
+// (every shard persists its partition's snapshot), replica 0 of each
+// partition is SIGTERMed mid-stream and restarted on its old address
+// from the snapshot alone — no -graph flag, so the edge list is never
+// re-read. Once the coordinator's redial loop re-adopts the restarted
+// replicas (which re-verifies their snapshot-derived handshake identity
+// against the pinned fleet), the replicas that still hold the graph are
+// killed, forcing the rest of the oracle-checked query stream onto the
+// snapshot-restored processes. Answers must be identical throughout,
+// and every restarted replica must report dsr_snapshot_loads_total=1.
+func TestBinariesSnapshotRestartTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./...")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	graphPath, err := filepath.Abs(filepath.Join("..", "..", "internal", "graph", "testdata", "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadEdgeListFile(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := t.TempDir()
+
+	const k, R = 3, 2
+	type proc struct {
+		cmd    *exec.Cmd
+		addr   string
+		loaded chan string // "loaded snapshot" line, if one appears
+		mURL   chan string // metrics endpoint URL, if announced
+	}
+	addrRe := regexp.MustCompile(`serving on (\S+)`)
+	loadedRe := regexp.MustCompile(`loaded snapshot .*graph file not read`)
+	metricsRe := regexp.MustCompile(`metrics on (http://\S+/metrics)`)
+
+	// start launches one dsr-shard and waits for its serving address.
+	start := func(p, r int, args ...string) *proc {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, "dsr-shard"), append([]string{
+			"-shards", fmt.Sprint(k), "-id", fmt.Sprint(p), "-replica", fmt.Sprint(r),
+			"-snapshot-dir", snapDir,
+		}, args...)...)
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		pr := &proc{cmd: cmd, loaded: make(chan string, 1), mURL: make(chan string, 1)}
+		t.Cleanup(func() {
+			if pr.cmd != nil {
+				pr.cmd.Process.Kill()
+				pr.cmd.Wait()
+			}
+		})
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				line := sc.Text()
+				if m := addrRe.FindStringSubmatch(line); m != nil {
+					addrCh <- m[1]
+				}
+				if loadedRe.MatchString(line) {
+					select {
+					case pr.loaded <- line:
+					default:
+					}
+				}
+				if m := metricsRe.FindStringSubmatch(line); m != nil {
+					select {
+					case pr.mURL <- m[1]:
+					default:
+					}
+				}
+			}
+		}()
+		select {
+		case pr.addr = <-addrCh:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("shard %d replica %d never reported its address", p, r)
+		}
+		return pr
+	}
+
+	fleet := [k][R]*proc{}
+	specs := make([]string, k)
+	for p := 0; p < k; p++ {
+		var group []string
+		for r := 0; r < R; r++ {
+			fleet[p][r] = start(p, r, "-graph", graphPath, "-listen", "127.0.0.1:0")
+			group = append(group, fleet[p][r].addr)
+		}
+		specs[p] = strings.Join(group, "|")
+	}
+
+	// The snapshot directory now holds one file per partition (replicas
+	// of a partition write byte-identical snapshots to the same name).
+	if ents, err := os.ReadDir(snapDir); err != nil || len(ents) != k {
+		t.Fatalf("snapshot dir: %v entries, err %v; want %d files", ents, err, k)
+	}
+
+	// Precomputed oracle stream.
+	rng := rand.New(rand.NewSource(20260808))
+	const nq = 40
+	n := g.NumVertices()
+	lines := make([]string, nq)
+	want := make([]string, nq)
+	for i := range lines {
+		s := graph.VertexID(rng.Intn(n))
+		d := graph.VertexID(rng.Intn(n))
+		lines[i] = fmt.Sprintf("%d | %d", s, d)
+		want[i] = fmt.Sprint(dsr.NaiveReach(g, []graph.VertexID{s}, []graph.VertexID{d}))
+	}
+
+	query := exec.Command(filepath.Join(bin, "dsr-query"),
+		"-shards", strings.Join(specs, ","), "-metrics-addr", "127.0.0.1:0")
+	qerr, err := query.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qURLCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(qerr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := metricsRe.FindStringSubmatch(line); m != nil {
+				select {
+				case qURLCh <- m[1]:
+				default:
+				}
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}()
+	stdin, err := query.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := query.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { query.Process.Kill(); query.Wait() })
+	answers := bufio.NewReader(stdout)
+	ask := func(i int) {
+		t.Helper()
+		if _, err := io.WriteString(stdin, lines[i]+"\n"); err != nil {
+			t.Fatalf("query %d: write: %v", i, err)
+		}
+		got, err := answers.ReadString('\n')
+		if err != nil {
+			t.Fatalf("query %d: read answer: %v", i, err)
+		}
+		if got := strings.TrimSpace(got); got != want[i] {
+			t.Fatalf("query %d (%s): got %s, oracle %s", i, lines[i], got, want[i])
+		}
+	}
+
+	for i := 0; i < nq/2; i++ {
+		ask(i)
+	}
+
+	// Roll replica 0 of every partition: drain it, then restart it on
+	// its old address from the snapshot alone — no -graph.
+	for p := 0; p < k; p++ {
+		pr := fleet[p][0]
+		if err := pr.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.cmd.Wait(); err != nil {
+			t.Errorf("shard %d replica 0 did not drain cleanly: %v", p, err)
+		}
+		pr.cmd = nil
+		fleet[p][0] = start(p, 0, "-listen", pr.addr, "-metrics-addr", "127.0.0.1:0")
+		select {
+		case <-fleet[p][0].loaded:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("restarted shard %d never logged a snapshot load", p)
+		}
+	}
+
+	// Every restarted replica counted exactly one snapshot load.
+	for p := 0; p < k; p++ {
+		var url string
+		select {
+		case url = <-fleet[p][0].mURL:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("restarted shard %d never announced metrics", p)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		var snap obs.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode /metrics: %v", err)
+		}
+		if got := snap.Counters["dsr_snapshot_loads_total"]; got != 1 {
+			t.Errorf("shard %d: dsr_snapshot_loads_total = %d, want 1", p, got)
+		}
+	}
+
+	// A few queries while only the graph-built replicas hold fresh
+	// connections: the coordinator notices the restarted processes'
+	// severed sockets here and fails those batches over to replica 1,
+	// so every answer stays correct mid-roll.
+	for i := nq / 2; i < nq/2+5; i++ {
+		ask(i)
+	}
+
+	// Wait for the coordinator's redial loop to re-adopt the restarted
+	// replicas — the redial re-runs the handshake, so this also proves a
+	// snapshot-booted shard presents the pinned fleet identity.
+	var qURL string
+	select {
+	case qURL = <-qURLCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("dsr-query never announced its metrics endpoint")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(qURL)
+		if err != nil {
+			t.Fatalf("GET %s: %v", qURL, err)
+		}
+		var snap obs.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode coordinator /metrics: %v", err)
+		}
+		live := 0
+		for p := 0; p < k; p++ {
+			if snap.Gauges[obs.Name("shard_replicas_live", "partition", p)] == R {
+				live++
+			}
+		}
+		if live == k {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never re-adopted the snapshot-restored replicas (%d/%d partitions at full strength)", live, k)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Kill the replicas that were built from -graph: the rest of the
+	// stream has only snapshot-restored processes to answer from.
+	for p := 0; p < k; p++ {
+		pr := fleet[p][1]
+		if err := pr.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.cmd.Wait(); err != nil {
+			t.Errorf("shard %d replica 1 did not drain cleanly: %v", p, err)
+		}
+		pr.cmd = nil
+	}
+
+	for i := nq/2 + 5; i < nq; i++ {
+		ask(i)
+	}
+	stdin.Close()
+	if err := query.Wait(); err != nil {
+		t.Fatalf("dsr-query exited non-zero after snapshot restart: %v", err)
+	}
+}

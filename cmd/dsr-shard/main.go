@@ -16,6 +16,17 @@
 // graph fingerprint, and partitioning digest, and refuses a fleet
 // whose shards disagree.
 //
+// Snapshots: with -snapshot-dir, a freshly built shard persists its
+// complete query state (subgraph, SCC condensation, bitset index,
+// boundary summary) to <dir>/part<id>-of-<shards>.dsrsnap via a
+// temp-file+rename, and the next boot loads that file instead of
+// rebuilding — skipping even the edge-list read, so -graph becomes
+// optional. A snapshot that is missing, corrupt, version-skewed, or
+// for the wrong partition falls back to the rebuild path (with a
+// logged warning), never to a wrong answer; -snapshot-verify forces a
+// rebuild from -graph and byte-compares it against the stored
+// snapshot, exiting non-zero on any disagreement.
+//
 // Replication: running several dsr-shard processes with the same -id
 // makes them interchangeable replicas of that partition — point the
 // coordinator at all of them with a '|' group ("a:7000|b:7000" in
@@ -29,12 +40,15 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"dsr/internal/graph"
@@ -42,22 +56,30 @@ import (
 	"dsr/internal/partition"
 	"dsr/internal/partition/locality"
 	"dsr/internal/shard"
+	"dsr/internal/snapshot"
 )
 
 func main() {
 	var (
-		graphPath   = flag.String("graph", "", "edge-list file (required): one 'u v' pair per line")
+		graphPath   = flag.String("graph", "", "edge-list file: one 'u v' pair per line (required unless a snapshot is loaded via -snapshot-dir)")
 		numShards   = flag.Int("shards", 1, "total shard count of the deployment")
 		shardID     = flag.Int("id", 0, "this shard's index in [0, shards)")
 		replica     = flag.Int("replica", 0, "replica label for this partition's server (logs only; replicas are interchangeable)")
 		listen      = flag.String("listen", "127.0.0.1:7000", "TCP address to serve on")
 		partitioner = flag.String("partitioner", "hash", "partitioning strategy: hash, range, or locality[:seed=N,rounds=N,balance=F,refine=N]; must match the coordinator's")
+		snapDir     = flag.String("snapshot-dir", "", "directory of persisted per-partition index snapshots: boot loads this partition's snapshot instead of rebuilding from -graph, and a rebuild writes one back")
+		snapVerify  = flag.Bool("snapshot-verify", false, "force a rebuild from -graph and byte-compare it against the stored snapshot; any disagreement is fatal")
 		metricsAddr = flag.String("metrics-addr", "", "serve the metrics registry (JSON at /metrics) and net/http/pprof on this address; empty disables")
 		logLevel    = flag.String("log-level", "info", "log level floor: debug, info, warn, or error")
 	)
 	flag.Parse()
-	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "dsr-shard: -graph is required")
+	if *graphPath == "" && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "dsr-shard: -graph is required (or -snapshot-dir to boot from a snapshot)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *snapVerify && (*graphPath == "" || *snapDir == "") {
+		fmt.Fprintln(os.Stderr, "dsr-shard: -snapshot-verify needs both -graph (to rebuild) and -snapshot-dir (to compare against)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,10 +97,13 @@ func main() {
 	if *shardID < 0 || *shardID >= *numShards {
 		fatalf("-id %d outside [0, %d)", *shardID, *numShards)
 	}
-	strat, err := locality.ParseSpec(*partitioner)
-	if err != nil {
-		fatalf("-partitioner: %v", err)
-	}
+	// Register for drain signals before any real work: a SIGTERM that
+	// lands during the build (or between listen and the drain goroutine
+	// below) parks in the channel instead of killing the process with
+	// the default action, and is honored the moment serving starts.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+
 	reg := obs.NewRegistry()
 	var opsAddr string
 	if *metricsAddr != "" {
@@ -90,29 +115,97 @@ func main() {
 		opsAddr = ops.Addr()
 		logger.Infof("metrics on http://%s/metrics (pprof under /debug/pprof/)", opsAddr)
 	}
+	var (
+		snapLoads        = reg.Counter("dsr_snapshot_loads_total")
+		snapLoadFailures = reg.Counter("dsr_snapshot_load_failures_total")
+		snapWrites       = reg.Counter("dsr_snapshot_writes_total")
+		snapBytes        = reg.Gauge("dsr_snapshot_bytes")
+	)
 
-	g, err := graph.LoadEdgeListFile(*graphPath)
-	if err != nil {
-		fatalf("load graph: %v", err)
+	var snapPath string
+	if *snapDir != "" {
+		snapPath = filepath.Join(*snapDir, snapshot.Filename(*shardID, *numShards))
 	}
-	pt, err := strat.Partition(g, *numShards)
-	if err != nil {
-		fatalf("partition (%s): %v", strat.Name(), err)
+
+	// Fast path: load this partition's finished query state from its
+	// snapshot — no edge-list read, no partitioning, no Tarjan, no index
+	// build. The header's shard ID/count are checked here; its graph
+	// fingerprint and partitioning digest become this shard's handshake
+	// identity, so a snapshot from a foreign graph is refused by the
+	// coordinator's fleet cross-check exactly like a mismatched hello.
+	var sh *shard.Shard
+	var numVertices int
+	var graphSum, partSum uint64
+	if snapPath != "" && !*snapVerify {
+		sn, err := snapshot.ReadFile(snapPath)
+		if err == nil {
+			err = sn.Expect(*shardID, *numShards, 0, 0, 0)
+		}
+		switch {
+		case err == nil:
+			sh = shard.FromSnapshot(sn)
+			numVertices = sn.TotalVertices
+			graphSum, partSum = sn.GraphFingerprint, sn.PartitioningDigest
+			snapLoads.Inc()
+			snapBytes.Set(int64(sn.Size))
+			logger.Infof("loaded snapshot %s (%d bytes, graph file not read): %d of %d vertices, %d entries, %d exits",
+				snapPath, sn.Size, sh.NumVertices(), numVertices, len(sn.Sub.Entries), len(sn.Sub.Exits))
+		case errors.Is(err, fs.ErrNotExist):
+			logger.Infof("no snapshot at %s: building from -graph", snapPath)
+		default:
+			snapLoadFailures.Inc()
+			logger.Warnf("snapshot unusable, rebuilding from -graph: %v", err)
+		}
+		if sh == nil && *graphPath == "" {
+			fatalf("snapshot at %s unusable and no -graph to rebuild from", snapPath)
+		}
 	}
-	// ExtractOne materializes only this shard's partition: startup memory
-	// scales with the shard's share of the graph, not all k partitions.
-	sub := partition.ExtractOne(g, pt, *shardID)
-	sh := shard.New(*shardID, sub)
-	logger.Infof("shard %d/%d (%s-partitioned): %d of %d vertices, %d entries, %d exits",
-		*shardID, *numShards, strat.Name(), sh.NumVertices(), g.NumVertices(),
-		len(sub.Entries), len(sub.Exits))
+
+	if sh == nil {
+		strat, err := locality.ParseSpec(*partitioner)
+		if err != nil {
+			fatalf("-partitioner: %v", err)
+		}
+		g, err := graph.LoadEdgeListFile(*graphPath)
+		if err != nil {
+			fatalf("load graph: %v", err)
+		}
+		pt, err := strat.Partition(g, *numShards)
+		if err != nil {
+			fatalf("partition (%s): %v", strat.Name(), err)
+		}
+		// ExtractOne materializes only this shard's partition: startup memory
+		// scales with the shard's share of the graph, not all k partitions.
+		sub := partition.ExtractOne(g, pt, *shardID)
+		sh = shard.New(*shardID, sub)
+		numVertices, graphSum, partSum = g.NumVertices(), g.Fingerprint(), pt.Digest()
+		logger.Infof("shard %d/%d (%s-partitioned): %d of %d vertices, %d entries, %d exits",
+			*shardID, *numShards, strat.Name(), sh.NumVertices(), numVertices,
+			len(sub.Entries), len(sub.Exits))
+
+		if snapPath != "" {
+			sn := sh.Snapshot(*numShards, numVertices, graphSum, partSum)
+			if *snapVerify {
+				verifySnapshot(logger, fatalf, snapPath, sn)
+			}
+			size, err := snapshot.WriteFile(snapPath, sn)
+			if err != nil {
+				// Serving matters more than persisting: log and carry on.
+				logger.Warnf("snapshot write failed (next boot rebuilds): %v", err)
+			} else {
+				snapWrites.Inc()
+				snapBytes.Set(int64(size))
+				logger.Infof("wrote snapshot %s (%d bytes)", snapPath, size)
+			}
+		}
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
 	logger.Infof("serving on %s", ln.Addr())
-	srv := shard.NewServer(sh, *numShards, g.NumVertices(), g.Fingerprint(), pt.Digest())
+	srv := shard.NewServer(sh, *numShards, numVertices, graphSum, partSum)
 	srv.Instrument(reg, logger)
 	// Announce the ops address in the handshake so the coordinator's
 	// /fleet view can scrape this replica without extra configuration.
@@ -120,8 +213,6 @@ func main() {
 
 	// Graceful drain on SIGTERM/SIGINT: finish in-flight batches, refuse
 	// new connections, then exit 0 (Serve returns nil once draining).
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	go func() {
 		sig := <-sigc
 		logger.Infof("received %v: draining (answering in-flight batches, refusing new connections)", sig)
@@ -139,4 +230,35 @@ func main() {
 	// being answered).
 	srv.Shutdown()
 	logger.Infof("exiting")
+}
+
+// verifySnapshot byte-compares the freshly rebuilt state against the
+// stored snapshot. Encoding is deterministic, so equal state means
+// equal bytes; any difference — a stale snapshot after the graph file
+// changed, a partitioner drift, bit rot the checksum would also catch
+// — is fatal, because an operator running -snapshot-verify wants the
+// discrepancy surfaced, not papered over. A missing snapshot passes
+// (the caller writes the first one).
+func verifySnapshot(logger *obs.Logger, fatalf func(string, ...any), snapPath string, sn *snapshot.Snapshot) {
+	stored, err := os.ReadFile(snapPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		logger.Infof("snapshot-verify: no snapshot at %s yet, writing one", snapPath)
+		return
+	}
+	if err != nil {
+		fatalf("snapshot-verify: read %s: %v", snapPath, err)
+	}
+	fresh, err := snapshot.Encode(sn)
+	if err != nil {
+		fatalf("snapshot-verify: encode rebuilt state: %v", err)
+	}
+	if !bytes.Equal(stored, fresh) {
+		if _, derr := snapshot.Decode(stored); derr != nil {
+			fatalf("snapshot-verify: %s does not match the rebuilt state (%d vs %d bytes) and fails to decode: %v",
+				snapPath, len(stored), len(fresh), derr)
+		}
+		fatalf("snapshot-verify: %s does not match the state rebuilt from -graph (%d vs %d bytes): stale snapshot or drifted graph/partitioner",
+			snapPath, len(stored), len(fresh))
+	}
+	logger.Infof("snapshot-verify: %s matches the rebuilt state (%d bytes)", snapPath, len(fresh))
 }

@@ -24,7 +24,11 @@ func LoadEdgeList(r io.Reader) (*Graph, error) {
 		lineno++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
-			if n, ok := parseVertexDirective(line); ok && n > 0 {
+			n, ok, err := parseVertexDirective(line)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineno, err)
+			}
+			if ok && n > 0 {
 				b.EnsureVertex(VertexID(n - 1))
 			}
 			continue
@@ -44,7 +48,11 @@ func LoadEdgeList(r io.Reader) (*Graph, error) {
 		b.AddEdge(VertexID(u), VertexID(v))
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner failed reading the line after the last one it
+		// delivered (e.g. bufio.ErrTooLong on a line over the 1 MiB
+		// buffer), so point the error there instead of returning the
+		// opaque scanner error raw.
+		return nil, fmt.Errorf("graph: line %d: %v", lineno+1, err)
 	}
 	return b.Build(), nil
 }
@@ -59,17 +67,21 @@ func LoadEdgeListFile(path string) (*Graph, error) {
 	return LoadEdgeList(f)
 }
 
-// parseVertexDirective recognizes "# vertices N" comments.
-func parseVertexDirective(line string) (uint64, bool) {
+// parseVertexDirective recognizes "# vertices N" comments. A comment
+// that is shaped like the directive but whose count fails to parse as
+// a uint32 (negative, overflowing, non-numeric) is an error, not a
+// plain comment: silently dropping a writer's count would make
+// trailing isolated vertices vanish on round-trip.
+func parseVertexDirective(line string) (uint64, bool, error) {
 	fields := strings.Fields(line)
 	if len(fields) != 3 || fields[0] != "#" || fields[1] != "vertices" {
-		return 0, false
+		return 0, false, nil
 	}
 	n, err := strconv.ParseUint(fields[2], 10, 32)
 	if err != nil {
-		return 0, false
+		return 0, false, fmt.Errorf("bad '# vertices' directive count %q: %v", fields[2], err)
 	}
-	return n, true
+	return n, true, nil
 }
 
 // WriteEdgeList writes g in the format accepted by LoadEdgeList: a

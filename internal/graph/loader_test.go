@@ -107,12 +107,59 @@ func TestVertexDirective(t *testing.T) {
 	if got, want := g.NumVertices(), 8; got != want {
 		t.Fatalf("NumVertices = %d, want %d", got, want)
 	}
-	// Malformed directives stay plain comments.
-	for _, in := range []string{"# vertices\n", "# vertices x\n", "# vertices 1 2\n"} {
+	// Comments that don't have the directive's exact 3-field shape stay
+	// plain comments.
+	for _, in := range []string{"# vertices\n", "# vertices 1 2\n", "#vertices 10\n", "# vertex 10\n"} {
 		g, err := LoadEdgeList(strings.NewReader(in))
 		if err != nil || g.NumVertices() != 0 {
 			t.Errorf("%q: got %v vertices, err %v; want plain comment", in, g.NumVertices(), err)
 		}
+	}
+}
+
+// TestVertexDirectiveMalformed: a directive-shaped comment whose count
+// does not parse as a uint32 must be a line-numbered load error — not a
+// silently dropped count that makes isolated vertices vanish on
+// round-trip.
+func TestVertexDirectiveMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"non-numeric", "0 1\n# vertices x\n"},
+		{"negative", "0 1\n# vertices -5\n"},
+		{"uint32 overflow", "0 1\n# vertices 4294967296\n"},
+		{"float", "0 1\n# vertices 1.5\n"},
+	}
+	for _, c := range cases {
+		_, err := LoadEdgeList(strings.NewReader(c.input))
+		if err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("%s: error %q does not name line 2", c.name, err)
+		}
+		if !strings.Contains(err.Error(), "vertices") {
+			t.Errorf("%s: error %q does not name the directive", c.name, err)
+		}
+	}
+}
+
+// TestLoadEdgeListScannerErrorHasLineContext: a line exceeding the
+// scanner's 1 MiB buffer must fail with the offending line's number,
+// not bufio's opaque "token too long".
+func TestLoadEdgeListScannerErrorHasLineContext(t *testing.T) {
+	input := "0 1\n1 2\n0 " + strings.Repeat("9", 2*1024*1024) + "\n"
+	_, err := LoadEdgeList(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("want error for an over-long line, got nil")
+	}
+	if !strings.Contains(err.Error(), "graph: line 3") {
+		t.Errorf("error %q does not carry file/line context for line 3", err)
+	}
+	if !strings.Contains(err.Error(), "token too long") {
+		t.Errorf("error %q does not preserve the scanner's cause", err)
 	}
 }
 

@@ -1,0 +1,132 @@
+package scc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCondensationDataRoundTrip: Data -> CondensationFromData preserves
+// the decomposition exactly, across random graphs.
+func TestCondensationDataRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(50)
+		a := randomAdj(rng, n, []float64{0.5, 1, 2, 4}[rng.Intn(4)])
+		c := Condense(a, nil)
+		c2, err := CondensationFromData(c.Data())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("trial %d: round trip changed the condensation", trial)
+		}
+	}
+}
+
+// TestCondensationFromDataRejects: each persisted-state invariant the
+// query path relies on is actually enforced.
+func TestCondensationFromDataRejects(t *testing.T) {
+	// 0<->1 -> 2, plus isolated 3: components {0,1}, {2}, {3} with
+	// comp({0,1}) > comp(2) by reverse-topo numbering.
+	base := func() CondensationData {
+		a := buildAdj(4, [][2]int32{{0, 1}, {1, 0}, {1, 2}})
+		return Condense(a, nil).Data()
+	}
+	cases := []struct {
+		name string
+		mut  func(*CondensationData)
+	}{
+		{"offsets decrease", func(d *CondensationData) { d.FOff[1] = d.FOff[len(d.FOff)-1] + 1 }},
+		{"edge out of range", func(d *CondensationData) { d.FEdges[0] = int32(len(d.MOff)) }},
+		{"comp disagrees with members", func(d *CondensationData) { d.Comp[0], d.Comp[1] = d.Comp[1], d.Comp[0]+99 }},
+		{"vertex in two components", func(d *CondensationData) { d.Members[0] = d.Members[len(d.Members)-1] }},
+		{"forward edge breaks topo order", func(d *CondensationData) {
+			// Point the one cross-component edge upward instead of down.
+			d.FEdges[0] = int32(len(d.MOff) - 2)
+		}},
+		{"transpose mismatch", func(d *CondensationData) {
+			// Drop a reverse edge but keep offsets consistent: degree
+			// counts no longer mirror the forward half.
+			for i := 1; i < len(d.ROff); i++ {
+				d.ROff[i]--
+			}
+			d.REdges = d.REdges[1:]
+		}},
+		{"member count mismatch", func(d *CondensationData) { d.Members = d.Members[:len(d.Members)-1] }},
+		{"offset arrays disagree", func(d *CondensationData) { d.ROff = d.ROff[:len(d.ROff)-1] }},
+	}
+	for _, c := range cases {
+		d := base()
+		// Deep-copy every slice so mutations stay independent per case.
+		d.Comp = append([]int32{}, d.Comp...)
+		d.FOff = append([]int32{}, d.FOff...)
+		d.FEdges = append([]int32{}, d.FEdges...)
+		d.ROff = append([]int32{}, d.ROff...)
+		d.REdges = append([]int32{}, d.REdges...)
+		d.Members = append([]int32{}, d.Members...)
+		c.mut(&d)
+		if _, err := CondensationFromData(d); err == nil {
+			t.Errorf("%s: accepted invalid data", c.name)
+		}
+	}
+}
+
+// TestIndexDataRoundTrip: Data -> IndexFromData preserves reachability
+// answers bit for bit.
+func TestIndexDataRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		a := randomAdj(rng, n, 2)
+		cond := Condense(a, nil)
+		// A few random vertices as exits, deduped and increasing.
+		seen := map[int32]bool{}
+		var exits []int32
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			v := int32(rng.Intn(n))
+			if !seen[v] {
+				seen[v] = true
+				exits = append(exits, v)
+			}
+		}
+		for i := 1; i < len(exits); i++ {
+			for j := i; j > 0 && exits[j] < exits[j-1]; j-- {
+				exits[j], exits[j-1] = exits[j-1], exits[j]
+			}
+		}
+		ix := BuildIndex(cond, exits)
+		ix2, err := IndexFromData(cond, ix.Data())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(ix, ix2) {
+			t.Fatalf("trial %d: round trip changed the index", trial)
+		}
+	}
+}
+
+func TestIndexFromDataRejects(t *testing.T) {
+	a := buildAdj(3, [][2]int32{{0, 1}, {1, 2}})
+	cond := Condense(a, nil)
+	ix := BuildIndex(cond, []int32{2})
+	d := ix.Data()
+
+	short := IndexData{Exits: d.Exits, Bits: d.Bits[:len(d.Bits)-1]}
+	if _, err := IndexFromData(cond, short); err == nil {
+		t.Error("accepted truncated bitsets")
+	}
+	oob := IndexData{Exits: []int32{99}, Bits: d.Bits}
+	if _, err := IndexFromData(cond, oob); err == nil {
+		t.Error("accepted out-of-range exit")
+	}
+	// Clear exit 0's own bit in its component: bitsets weren't built for
+	// this exit list.
+	bits := append([]uint64{}, d.Bits...)
+	cc := int(cond.Comp[d.Exits[0]])
+	words := (len(d.Exits) + 63) / 64
+	bits[cc*words] &^= 1
+	if _, err := IndexFromData(cond, IndexData{Exits: d.Exits, Bits: bits}); err == nil {
+		t.Error("accepted bitset missing an exit's own bit")
+	}
+}

@@ -171,13 +171,17 @@ func (c *Cache) Put(key string, ans bool) {
 
 // SetEpoch advances the cache epoch: every entry stored under an
 // earlier epoch is invalid from now on (dropped lazily on lookup).
-// Setting the current epoch again is a no-op.
+// Setting the current or an earlier epoch is a no-op — the epoch never
+// moves backwards, so a restarted or lagging caller announcing an old
+// epoch cannot resurrect entries that were already invalidated.
 func (c *Cache) SetEpoch(epoch uint64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	c.epoch = epoch
+	if epoch > c.epoch {
+		c.epoch = epoch
+	}
 	c.mu.Unlock()
 }
 

@@ -77,6 +77,36 @@ func TestCacheEpochInvalidates(t *testing.T) {
 	}
 }
 
+// TestCacheEpochNeverRegresses: once snapshots and restarts make epoch
+// regressions possible, an epoch lower than the current one must not be
+// accepted — it would resurrect entries that were already invalidated.
+func TestCacheEpochNeverRegresses(t *testing.T) {
+	c := NewCache(8, nil)
+	stale := Key(ids(1), ids(9))
+	c.Put(stale, true)
+	c.SetEpoch(5) // invalidates stale
+	fresh := Key(ids(2), ids(9))
+	c.Put(fresh, true)
+
+	c.SetEpoch(3) // a lagging caller announces an old epoch: clamped away
+	if _, ok := c.Get(stale); ok {
+		t.Fatal("backwards SetEpoch resurrected an invalidated entry")
+	}
+	if _, ok := c.Get(fresh); !ok {
+		t.Fatal("backwards SetEpoch must not disturb current-epoch entries")
+	}
+	// The epoch really stayed at 5: entries stored now survive a later
+	// SetEpoch(4) but not SetEpoch(6).
+	c.SetEpoch(4)
+	if _, ok := c.Get(fresh); !ok {
+		t.Fatal("SetEpoch(4) after clamp must still be a no-op")
+	}
+	c.SetEpoch(6)
+	if _, ok := c.Get(fresh); ok {
+		t.Fatal("advancing the epoch must still invalidate")
+	}
+}
+
 // TestCacheRefreshInPlace: Put on an existing key updates answer and
 // epoch without duplicating the entry.
 func TestCacheRefreshInPlace(t *testing.T) {
